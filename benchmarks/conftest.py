@@ -1,0 +1,22 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs its experiment once (``rounds=1``) -- these are
+model-evaluation workloads, not microbenchmarks -- then prints the
+regenerated table so the benchmark log doubles as the paper-vs-measured
+record quoted in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer and return its
+    result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the library's computational kernels (these run
+multiple rounds, unlike the experiment benchmarks)."""
+
+import numpy as np
+
+from repro.analytic.capacity import CapacityModelConfig, capacity_distribution
+from repro.analytic.qos_model import conditional_distribution
+from repro.core.config import EvaluationParams
+from repro.core.schemes import Scheme
+from repro.protocol.runner import CenterlineScenario
+from repro.simulation.qos_montecarlo import simulate_conditional_distribution
+
+
+def test_bench_capacity_solve(benchmark):
+    """Reachability + Erlang unfolding + sparse steady state."""
+    config = CapacityModelConfig(failure_rate_per_hour=5e-5, threshold=10)
+    result = benchmark(capacity_distribution, config, stages=24)
+    assert abs(sum(result.values()) - 1.0) < 1e-8
+
+
+def test_bench_conditional_closed_form(benchmark):
+    """One closed-form conditional distribution (the Eq. 4/5 kernel)."""
+    params = EvaluationParams(signal_termination_rate=0.2)
+    geometry = params.constellation.plane_geometry(12)
+    result = benchmark(conditional_distribution, geometry, params, Scheme.OAQ)
+    assert 0.0 < result.at_least(3) < 1.0
+
+
+def test_bench_vectorized_sampler(benchmark):
+    """100k-sample vectorised Monte-Carlo classification."""
+    params = EvaluationParams(signal_termination_rate=0.2)
+    geometry = params.constellation.plane_geometry(12)
+    result = benchmark(
+        simulate_conditional_distribution,
+        geometry,
+        params,
+        Scheme.OAQ,
+        samples=100_000,
+        seed=1,
+    )
+    assert abs(sum(result.as_dict().values()) - 1.0) < 1e-9
+
+
+def test_bench_protocol_episode(benchmark):
+    """One full message-passing coordination episode."""
+    params = EvaluationParams(signal_termination_rate=0.2)
+    geometry = params.constellation.plane_geometry(9)
+
+    def episode():
+        scenario = CenterlineScenario(
+            geometry, params, onset_position=8.0, signal_duration=6.0, seed=1
+        )
+        return scenario.run()
+
+    outcome = benchmark(episode)
+    assert outcome.official_alert is not None

@@ -1,0 +1,18 @@
+"""Benchmark ``fig7``: regenerate Figure 7 (P(K=k) vs lambda)."""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(run_once):
+    result = run_once(fig7.run)
+    print()
+    print(result.render())
+    first, last = result.rows[0], result.rows[-1]
+    capacities = range(9, 15)
+    # Paper shape: P(14) dominates at 1e-5, P(10) at 1e-4, P(9) small.
+    assert first["P(K=14)"] == max(first[f"P(K={k})"] for k in capacities)
+    assert last["P(K=10)"] == max(last[f"P(K={k})"] for k in capacities)
+    assert last["P(K=9)"] < 0.2
+    # P(10) rises monotonically with lambda.
+    p10 = [row["P(K=10)"] for row in result.rows]
+    assert p10 == sorted(p10)

@@ -1,0 +1,20 @@
+"""Benchmark ``fig8``: regenerate Figure 8 (P(Y=3) vs lambda,
+OAQ/BAQ x mu in {0.2, 0.5})."""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(run_once):
+    result = run_once(fig8.run)
+    print()
+    print(result.render())
+    gains = []
+    for row in result.rows:
+        # BAQ is mu-invariant; OAQ gains when signals last longer.
+        assert row["BAQ (mu=0.2)"] == pytest.approx(row["BAQ (mu=0.5)"])
+        assert row["OAQ (mu=0.2)"] > row["OAQ (mu=0.5)"] > row["BAQ (mu=0.5)"]
+        gains.append(row["OAQ (mu=0.2)"] / row["OAQ (mu=0.5)"] - 1.0)
+    # Paper: "P(Y=3) increases up to 38%" over the lambda domain.
+    assert max(gains) == pytest.approx(0.38, abs=0.03)

@@ -1,0 +1,22 @@
+"""Benchmark ``fig9``: regenerate Figure 9 (P(Y>=y) vs lambda)."""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(run_once):
+    result = run_once(fig9.run)
+    print()
+    print(result.render())
+    low, high = result.rows[0], result.rows[-1]
+    # Paper anchors (Section 4.3 text).
+    assert low["OAQ P(Y>=2)"] == pytest.approx(0.75, abs=0.03)
+    assert low["BAQ P(Y>=2)"] == pytest.approx(0.33, abs=0.03)
+    assert high["OAQ P(Y>=2)"] == pytest.approx(0.41, abs=0.04)
+    assert high["BAQ P(Y>=2)"] == pytest.approx(0.04, abs=0.02)
+    for row in result.rows:
+        assert row["OAQ P(Y>=1)"] == pytest.approx(1.0, abs=0.005)
+        assert row["BAQ P(Y>=1)"] == pytest.approx(1.0, abs=0.005)
+        for level in (1, 2, 3):
+            assert row[f"OAQ P(Y>={level})"] >= row[f"BAQ P(Y>={level})"] - 1e-12

@@ -1,0 +1,13 @@
+"""Benchmark ``geoloc``: geolocation accuracy per coverage pattern
+(the Section 3.1 premise, with the real WLS stack)."""
+
+from repro.experiments import geolocation_exp
+
+
+def test_bench_geolocation(run_once):
+    result = run_once(geolocation_exp.run, trials=10, seed=99)
+    print()
+    print(result.render())
+    by_level = {row["QoS level"]: row for row in result.rows}
+    assert by_level[2]["median error (km)"] < by_level[1]["median error (km)"]
+    assert by_level[3]["median error (km)"] < by_level[1]["median error (km)"]

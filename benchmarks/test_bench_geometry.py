@@ -1,0 +1,12 @@
+"""Benchmark ``eq2-M``: regenerate the Eq. (2) geometry table."""
+
+from repro.experiments import geometry_exp
+
+
+def test_bench_geometry(run_once):
+    result = run_once(geometry_exp.run)
+    print()
+    print(result.render())
+    for row in result.rows:
+        if row["I[k]"] == 0 and row["L2[k]"] < 5.0:
+            assert row["M[k] (tau=5.0)"] == 2

@@ -1,0 +1,36 @@
+"""Benchmark ``mc-validate``: Monte-Carlo vs closed-form validation."""
+
+import pytest
+
+from repro.experiments import montecarlo_exp
+
+
+def test_bench_conditional_validation(run_once):
+    result = run_once(
+        montecarlo_exp.run_conditional_validation,
+        capacities=(9, 10, 12, 14),
+        samples=60_000,
+        protocol_samples=1_200,
+        seed=20030622,
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row["rule-based MC"] == pytest.approx(row["closed form"], abs=0.01)
+        assert row["protocol MC"] == pytest.approx(row["closed form"], abs=0.05)
+
+
+def test_bench_capacity_validation(run_once):
+    result = run_once(
+        montecarlo_exp.run_capacity_validation,
+        lam=5e-5,
+        stages=32,
+        horizon_hours=2.0e6,
+        seed=7,
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row["independent DES"] == pytest.approx(
+            row["SAN (Erlang unfold)"], abs=0.05
+        )

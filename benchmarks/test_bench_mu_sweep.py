@@ -1,0 +1,15 @@
+"""Benchmark ``mu-sweep``: QoS measure vs mean signal duration
+(Section 4.3 in-text study)."""
+
+from repro.experiments import sweeps
+
+
+def test_bench_mu_sweep(run_once):
+    result = run_once(sweeps.run_mu_sweep)
+    print()
+    print(result.render())
+    oaq = [row["OAQ P(Y>=2)"] for row in result.rows]
+    baq = [row["BAQ P(Y>=2)"] for row in result.rows]
+    # Longer signals = extended opportunity, exploited only by OAQ.
+    assert oaq == sorted(oaq)
+    assert max(baq) - min(baq) < 0.01

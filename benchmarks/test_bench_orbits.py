@@ -1,0 +1,23 @@
+"""Benchmark ``orbits``: constellation constants and the latitude
+coverage profile (Figure 1 / Section 4.1)."""
+
+import pytest
+
+from repro.experiments import orbits_exp
+
+
+def test_bench_orbits_constants(run_once):
+    result = run_once(orbits_exp.run_constants)
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row["measured"] == pytest.approx(row["published"], rel=0.05)
+
+
+def test_bench_latitude_profile(run_once):
+    result = run_once(orbits_exp.run_latitude_profile)
+    print()
+    print(result.render())
+    overlapped = [row["overlapped fraction"] for row in result.rows]
+    assert overlapped[-1] > overlapped[0]
+    assert all(row["covered fraction"] == 1.0 for row in result.rows)

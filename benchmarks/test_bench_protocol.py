@@ -1,0 +1,18 @@
+"""Benchmark ``protocol``: the Figures 3-4 protocol properties."""
+
+from repro.experiments import protocol_exp
+
+
+def test_bench_protocol(run_once):
+    result = run_once(protocol_exp.run, samples=300, seed=4242)
+    print()
+    print(result.render())
+    rows = {row["configuration"]: row for row in result.rows}
+    healthy = rows["done-propagation, healthy"]
+    failed = rows["done-propagation, successor fail-silent"]
+    assert healthy["timely (<= tau)"] == healthy["detected"]
+    assert failed["timely (<= tau)"] == failed["detected"]
+    lossy = rows["successor-responsibility, successor fail-silent"]
+    assert lossy["alerts delivered"] < lossy["detected"]
+    for row in result.rows:
+        assert row["max timely chain"] <= row["chain bound M[k]"]

@@ -1,0 +1,23 @@
+"""Benchmark ``ablation-phases``: Erlang-stage ablation of the
+deterministic timers in the capacity SAN."""
+
+from repro.experiments import san_ablation
+
+
+def test_bench_san_ablation(run_once):
+    result = run_once(
+        san_ablation.run,
+        stage_grid=(1, 2, 4, 8, 16, 24, 32),
+        lam=5e-5,
+        simulate=True,
+        horizon_hours=1.5e6,
+        seed=11,
+    )
+    print()
+    print(result.render())
+    by_stage = {row["stages"]: row["TV vs max stages"] for row in result.rows}
+    # Monotone convergence of the phase-type approximation.
+    assert by_stage[1] > by_stage[8] > by_stage[32] - 1e-12
+    # No deterministic-timer support (stage 1 / exponential) is clearly
+    # worse than a modest Erlang expansion.
+    assert by_stage["exp (no det support)"] > by_stage[16]

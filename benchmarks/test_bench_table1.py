@@ -1,0 +1,11 @@
+"""Benchmark ``table1``: regenerate paper Table 1."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(run_once):
+    result = run_once(table1.run)
+    print()
+    print(result.render())
+    indicator = {row["k"]: row["I[k]"] for row in result.rows}
+    assert indicator[10] == 0 and indicator[11] == 1

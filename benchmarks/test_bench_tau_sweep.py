@@ -1,0 +1,16 @@
+"""Benchmark ``tau-sweep``: QoS measure vs deadline (Section 4.3
+in-text study)."""
+
+from repro.experiments import sweeps
+
+
+def test_bench_tau_sweep(run_once):
+    result = run_once(sweeps.run_tau_sweep)
+    print()
+    print(result.render())
+    oaq = [row["OAQ P(Y>=2)"] for row in result.rows]
+    baq = [row["BAQ P(Y>=2)"] for row in result.rows]
+    # OAQ keeps exploiting extra time allowance; BAQ saturates.
+    assert oaq == sorted(oaq)
+    assert oaq[-1] > oaq[0] + 0.2
+    assert max(baq) - min(baq) < 0.01

@@ -1,0 +1,15 @@
+"""Benchmark ``text-4.3``: the paper's in-text numerical anchors."""
+
+import pytest
+
+from repro.experiments import text_results
+
+
+def test_bench_text_anchors(run_once):
+    result = run_once(text_results.run)
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert float(row["measured"]) == pytest.approx(
+            float(row["paper"]), abs=0.04
+        ), row["anchor"]

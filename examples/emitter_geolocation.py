@@ -1,0 +1,101 @@
+"""End-to-end RF emitter geolocation with the real estimation stack.
+
+Shows the physics behind the paper's QoS levels: a LEO satellite of the
+reference constellation collects Doppler measurements of a 900 MHz
+emitter; a short single-pass arc leaves the classic ground-track mirror
+ambiguity, and the next satellite's revisit (sequential localization)
+collapses it and shrinks the error.
+
+Run with::
+
+    python examples/emitter_geolocation.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.geolocation import (
+    Emitter,
+    MeasurementGenerator,
+    SequentialLocalizer,
+    WLSEstimator,
+)
+from repro.orbits import build_reference_constellation
+from repro.orbits.frames import GeodeticPoint, subsatellite_point
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    constellation = build_reference_constellation()
+    plane = constellation.planes[0]
+    lead, trail = plane.satellites[0], plane.satellites[13]
+
+    # Place the emitter 0.8 degrees east of the ground track.
+    track = subsatellite_point(lead.position_ecef(60.0))
+    emitter = Emitter(
+        GeodeticPoint(
+            track.latitude + math.radians(0.5),
+            track.longitude + math.radians(0.8),
+        ),
+        frequency_hz=900.0e6,
+    )
+    print(
+        f"true emitter: lat {emitter.location.latitude_deg:+.3f} deg, "
+        f"lon {emitter.location.longitude_deg:+.3f} deg"
+    )
+
+    generator = MeasurementGenerator(
+        emitter,
+        doppler_sigma_hz=5.0,
+        footprint_half_angle=constellation.footprint.half_angle,
+    )
+
+    # --- One short arc from a single pass: the ambiguity ------------
+    short_times = np.arange(30.0, 100.0, 10.0)
+    short_arc = generator.observe(lead, short_times, rng)
+    estimator = WLSEstimator()
+    guesses = [
+        GeodeticPoint(track.latitude, track.longitude + math.radians(dlon))
+        for dlon in (-2.0, -0.8, 0.8, 2.0)
+    ]
+    solutions = estimator.solve_multistart(short_arc, guesses)
+    print(f"\nshort single-pass arc ({len(short_arc)} Doppler samples):")
+    for i, solution in enumerate(solutions):
+        print(
+            f"  candidate {i + 1}: lat {solution.estimate.latitude_deg:+.3f}, "
+            f"lon {solution.estimate.longitude_deg:+.3f}  "
+            f"(residual rms {solution.residual_rms:.2f}, true error "
+            f"{solution.error_km(emitter.location):.1f} km)"
+        )
+    print("  -> two near-identical fits: the ground-track mirror ambiguity")
+
+    # --- Sequential localization: the next satellite resolves it ----
+    # Seed the localizer with the best ambiguity candidate (a real
+    # system would carry both candidates until a later pass resolves
+    # them); the second satellite's geometry then pins the true side.
+    localizer = SequentialLocalizer(initial_guess=solutions[0].estimate)
+    full_times = np.arange(-180.0, 300.0, 10.0) + 60.0
+    first = localizer.add_pass(generator.observe(lead, full_times, rng))
+    print(
+        f"\nafter pass 1 ({localizer.history[0].measurements_total} samples): "
+        f"error {first.error_km(emitter.location):.2f} km, "
+        f"estimated 1-sigma {first.horizontal_error_km:.2f} km"
+    )
+    revisit = lead.orbit.period_s() / plane.active_count
+    second = localizer.add_pass(
+        generator.observe(trail, full_times + revisit, rng)
+    )
+    print(
+        f"after pass 2 ({localizer.history[1].measurements_total} samples): "
+        f"error {second.error_km(emitter.location):.2f} km, "
+        f"estimated 1-sigma {second.horizontal_error_km:.2f} km"
+    )
+    print(
+        "\nsequential localization: each revisiting satellite tightens the "
+        "estimate -- the mechanism the OAQ window of opportunity exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

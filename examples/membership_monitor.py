@@ -1,0 +1,70 @@
+"""Group membership in a degraded orbital plane (Section 5 extension).
+
+The paper's concluding section points at adapting group-membership
+protocols to constellations as the next step.  This example runs the
+heartbeat/ring membership service over a plane's crosslinks, fails two
+satellites mid-flight, shows the views converging, restores one, and
+finally answers the question the OAQ protocol actually cares about:
+*which surviving peer visits the target next?*
+
+Run with::
+
+    python examples/membership_monitor.py
+"""
+
+from repro.protocol.membership import MembershipConfig, MembershipGroup
+
+PLANE = [f"S{i}" for i in range(1, 11)]  # a 10-satellite plane
+
+
+def show_views(group: MembershipGroup, moment: str) -> None:
+    print(f"\n{moment} (t = {group.simulator.now:.1f} min):")
+    for name, view in sorted(group.views().items()):
+        version = group.nodes[name].view_version
+        print(f"  {name}: v{version} {list(view)}")
+    print(f"  converged: {group.converged()}")
+
+
+def next_visitor(group: MembershipGroup, after: str) -> str:
+    """The OAQ 'next peer' query, answered from the agreed view."""
+    ring = list(group.agreed_view())
+    return ring[(ring.index(after) + 1) % len(ring)]
+
+
+def main() -> None:
+    config = MembershipConfig(
+        heartbeat_interval=0.5, suspicion_timeout=1.6, crosslink_delay=0.05
+    )
+    group = MembershipGroup(PLANE, config=config)
+
+    group.run_for(3.0)
+    print("initial agreed view:", list(group.agreed_view()))
+    print("S3's next visitor:", next_visitor(group, "S3"))
+
+    print("\n>>> S4 and S8 become fail-silent")
+    group.fail("S4")
+    group.fail("S8")
+    group.run_for(8.0)
+    show_views(group, "after detection and dissemination")
+    print(
+        "S3's next visitor is now:",
+        next_visitor(group, "S3"),
+        "(the failed S4 is skipped)",
+    )
+
+    print("\n>>> ground spare S4 restored, rejoins the group")
+    group.restore("S4")
+    group.run_for(8.0)
+    show_views(group, "after rejoin")
+    print("S3's next visitor again:", next_visitor(group, "S3"))
+
+    messages = group.network.delivered_count()
+    print(
+        f"\nprotocol cost: {messages} crosslink messages over "
+        f"{group.simulator.now:.0f} simulated minutes "
+        f"({messages / group.simulator.now:.1f} msg/min for the plane)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: evaluate the OAQ and BAQ QoS measures.
+
+Reproduces the paper's headline comparison in a few lines: build the
+reference constellation's evaluation parameters, compute the
+steady-state orbital-plane capacity distribution with the SAN engine,
+compose it with the closed-form conditional QoS model (Eq. 3), and
+print ``P(Y >= y)`` for both schemes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import EvaluationParams, OAQFramework, QoSLevel, Scheme
+
+
+def main() -> None:
+    print("OAQ reproduction quickstart")
+    print("===========================")
+    for lam in (1e-5, 5e-5, 1e-4):
+        params = EvaluationParams(
+            deadline_minutes=5.0,  # tau
+            signal_termination_rate=0.2,  # mu (mean signal 5 minutes)
+            computation_rate=30.0,  # nu (mean iteration 2 seconds)
+            node_failure_rate_per_hour=lam,  # lambda
+            deployment_threshold=10,  # eta
+            scheduled_deployment_hours=30000.0,  # phi
+        )
+        framework = OAQFramework(params)
+
+        print(f"\nnode-failure rate lambda = {lam:.0e}/hour")
+        capacity = framework.capacity_probabilities()
+        dominant = max(capacity, key=capacity.get)
+        print(
+            f"  plane capacity: P(k={dominant}) = {capacity[dominant]:.3f} "
+            "dominates"
+        )
+        for level in (
+            QoSLevel.SINGLE,
+            QoSLevel.SEQUENTIAL_DUAL,
+            QoSLevel.SIMULTANEOUS_DUAL,
+        ):
+            comparison = framework.compare_schemes(level)
+            print(
+                f"  P(Y >= {int(level)}): "
+                f"OAQ {comparison[Scheme.OAQ]:.3f}  "
+                f"BAQ {comparison[Scheme.BAQ]:.3f}  "
+                f"(gain {framework.qos_gain(level):+.3f})"
+            )
+
+    print(
+        "\nThe opportunity-adaptive scheme pushes the constellation toward "
+        "the high end of the QoS spectrum even under heavy degradation, "
+        "while both schemes keep P(Y >= 1) ~ 1 (the paper's Figure 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: the offline environment lacks the ``wheel`` package, so
+``pip install -e . --no-build-isolation --no-use-pep517`` needs this
+legacy entry point.  All metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

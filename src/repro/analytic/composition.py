@@ -1,0 +1,83 @@
+"""Composition of the QoS measure (paper Eq. 3).
+
+``P(Y >= y) ~= SUM_{y' >= y} SUM_{k=9}^{14} P(Y = y' | k) P(k)``
+
+The conditional distributions come from
+:mod:`repro.analytic.qos_model`; the orbital-plane capacity
+probabilities ``P(k)`` come from :mod:`repro.analytic.capacity` (or any
+other mapping, e.g. a simulation estimate).  The paper neglects
+``k < 9`` because the spare-deployment policies make those states
+extremely unlikely; accordingly the supplied ``P(k)`` may sum to
+slightly less than one and is renormalised (the truncation tolerance is
+configurable so a genuinely deficient distribution is still rejected).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.config import EvaluationParams
+from repro.core.qos import QoSDistribution
+from repro.core.schemes import Scheme
+from repro.errors import ConfigurationError
+
+__all__ = ["compose", "composed_distribution"]
+
+
+def compose(
+    capacity_probabilities: Mapping[int, float],
+    conditional: Callable[[int], QoSDistribution],
+    *,
+    truncation_tolerance: float = 0.05,
+) -> QoSDistribution:
+    """Mix conditional QoS distributions by plane-capacity weights.
+
+    Parameters
+    ----------
+    capacity_probabilities:
+        ``P(k)`` for each retained capacity ``k``.  Must sum to 1 within
+        ``truncation_tolerance`` (Eq. (3) truncates ``k < 9``); the
+        weights are renormalised.
+    conditional:
+        Function returning ``P(Y = . | k)`` for a capacity ``k``.
+    """
+    if not capacity_probabilities:
+        raise ConfigurationError("capacity_probabilities is empty")
+    total = sum(capacity_probabilities.values())
+    if any(p < 0 for p in capacity_probabilities.values()):
+        raise ConfigurationError(
+            f"capacity probabilities must be non-negative: {capacity_probabilities}"
+        )
+    if abs(total - 1.0) > truncation_tolerance:
+        raise ConfigurationError(
+            f"capacity probabilities sum to {total:.6f}, outside the allowed "
+            f"truncation tolerance {truncation_tolerance}"
+        )
+    components = [
+        (p / total, conditional(k))
+        for k, p in sorted(capacity_probabilities.items())
+        if p > 0.0
+    ]
+    return QoSDistribution.mixture(components)
+
+
+def composed_distribution(
+    capacity_probabilities: Mapping[int, float],
+    params: EvaluationParams,
+    scheme: Scheme,
+    *,
+    truncation_tolerance: float = 0.05,
+) -> QoSDistribution:
+    """Eq. (3) with the paper's closed-form conditionals: the
+    unconditional QoS distribution ``P(Y = y)`` for ``scheme``."""
+    from repro.analytic.qos_model import conditional_distribution
+
+    def conditional(k: int) -> QoSDistribution:
+        geometry = params.constellation.plane_geometry(k)
+        return conditional_distribution(geometry, params, scheme)
+
+    return compose(
+        capacity_probabilities,
+        conditional,
+        truncation_tolerance=truncation_tolerance,
+    )

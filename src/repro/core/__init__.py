@@ -1,0 +1,32 @@
+"""Core OAQ concepts: QoS spectrum and measures, schemes,
+configuration, opportunity calculus and the evaluation facade."""
+
+from repro.core.config import (
+    REFERENCE_CONSTELLATION,
+    ConstellationConfig,
+    EvaluationParams,
+)
+from repro.core.framework import OAQFramework
+from repro.core.opportunity import (
+    max_chain_length,
+    tc2_holds,
+    tc2_local_threshold,
+    wait_deadline,
+)
+from repro.core.qos import QOS_SPECTRUM, QoSDistribution, QoSLevel
+from repro.core.schemes import Scheme
+
+__all__ = [
+    "ConstellationConfig",
+    "EvaluationParams",
+    "OAQFramework",
+    "QOS_SPECTRUM",
+    "QoSDistribution",
+    "QoSLevel",
+    "REFERENCE_CONSTELLATION",
+    "Scheme",
+    "max_chain_length",
+    "tc2_holds",
+    "tc2_local_threshold",
+    "wait_deadline",
+]

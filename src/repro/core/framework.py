@@ -1,0 +1,170 @@
+"""High-level facade over the reproduction.
+
+:class:`OAQFramework` wires the pieces together the way the paper's
+evaluation does: closed-form conditional QoS distributions, the SAN
+capacity model, the Eq. (3) composition, and the simulation
+cross-checks -- all from one :class:`~repro.core.config.EvaluationParams`.
+
+    >>> from repro import OAQFramework, EvaluationParams, Scheme, QoSLevel
+    >>> framework = OAQFramework(EvaluationParams(node_failure_rate_per_hour=1e-4))
+    >>> framework.qos_measure(Scheme.OAQ, QoSLevel.SEQUENTIAL_DUAL)  # P(Y >= 2)
+    0.39...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analytic.capacity import CapacityModelConfig, capacity_distribution
+from repro.analytic.composition import compose
+from repro.analytic.qos_model import conditional_distribution
+from repro.core.config import EvaluationParams
+from repro.core.qos import QoSDistribution, QoSLevel
+from repro.core.schemes import Scheme
+from repro.errors import ConfigurationError
+
+__all__ = ["OAQFramework"]
+
+
+class OAQFramework:
+    """One-stop evaluation of the OAQ / BAQ QoS measures.
+
+    Parameters
+    ----------
+    params:
+        The experiment's parameters (Section 4 notation).
+    capacity_stages:
+        Erlang stages for the deterministic timers of the capacity SAN.
+    min_capacity:
+        Smallest ``k`` retained in the Eq. (3) truncation.  Defaults to
+        ``eta - 1`` -- for the paper's ``eta = 10`` that is the k >= 9
+        truncation of Eq. (3); the sustain-at-threshold policy makes
+        deeper excursions extremely unlikely.
+    """
+
+    def __init__(
+        self,
+        params: EvaluationParams,
+        *,
+        capacity_stages: int = 24,
+        min_capacity: Optional[int] = None,
+    ):
+        if min_capacity is None:
+            min_capacity = max(1, params.eta - 1)
+        if min_capacity < 1:
+            raise ConfigurationError(f"min_capacity must be >= 1, got {min_capacity}")
+        self.params = params
+        self.capacity_stages = capacity_stages
+        self.min_capacity = min_capacity
+        self._capacity_cache: Optional[Dict[int, float]] = None
+
+    # ------------------------------------------------------------------
+    # Constituent measures
+    # ------------------------------------------------------------------
+    def conditional_qos(self, capacity: int, scheme: Scheme) -> QoSDistribution:
+        """``P(Y = y | k)`` for this experiment's parameters."""
+        geometry = self.params.constellation.plane_geometry(capacity)
+        return conditional_distribution(geometry, self.params, scheme)
+
+    def capacity_probabilities(self, *, truncate: bool = True) -> Dict[int, float]:
+        """``P(k)`` from the SAN capacity model (cached per instance).
+
+        With ``truncate`` the paper's Eq. (3) truncation is applied:
+        only ``k >= min_capacity`` is kept (the composition renormalises
+        the small missing mass).
+        """
+        if self._capacity_cache is None:
+            config = CapacityModelConfig.from_params(self.params)
+            self._capacity_cache = capacity_distribution(
+                config, stages=self.capacity_stages
+            )
+        distribution = self._capacity_cache
+        if not truncate:
+            return dict(distribution)
+        floor = self.min_capacity
+        while floor > 1:
+            retained = {k: p for k, p in distribution.items() if k >= floor}
+            if sum(retained.values()) >= 0.96:
+                return retained
+            # Aggressive policies (long replacement latencies, low
+            # thresholds) push real mass below the Eq. (3) floor;
+            # extend the truncation rather than mis-normalise.
+            floor -= 1
+        return {k: p for k, p in distribution.items() if k >= 1}
+
+    # ------------------------------------------------------------------
+    # Composed measure (Eq. 3)
+    # ------------------------------------------------------------------
+    def qos_distribution(self, scheme: Scheme) -> QoSDistribution:
+        """The unconditional ``P(Y = y)`` for ``scheme``."""
+        capacity_probs = self.capacity_probabilities()
+        return compose(
+            capacity_probs,
+            lambda k: self.conditional_qos(k, scheme),
+        )
+
+    def qos_measure(self, scheme: Scheme, level: QoSLevel) -> float:
+        """The paper's QoS measure ``P(Y >= level)``."""
+        return self.qos_distribution(scheme).at_least(level)
+
+    def compare_schemes(self, level: QoSLevel) -> Dict[Scheme, float]:
+        """``P(Y >= level)`` for OAQ and BAQ side by side."""
+        return {
+            scheme: self.qos_measure(scheme, level)
+            for scheme in (Scheme.OAQ, Scheme.BAQ)
+        }
+
+    def qos_gain(self, level: QoSLevel) -> float:
+        """Absolute OAQ-over-BAQ gain in ``P(Y >= level)``."""
+        comparison = self.compare_schemes(level)
+        return comparison[Scheme.OAQ] - comparison[Scheme.BAQ]
+
+    # ------------------------------------------------------------------
+    # Simulation cross-checks
+    # ------------------------------------------------------------------
+    def simulate_conditional_qos(
+        self,
+        capacity: int,
+        scheme: Scheme,
+        *,
+        samples: int = 100_000,
+        seed: Optional[int] = None,
+    ) -> QoSDistribution:
+        """Monte-Carlo estimate of ``P(Y = y | k)`` (rule-based)."""
+        from repro.simulation.qos_montecarlo import simulate_conditional_distribution
+
+        geometry = self.params.constellation.plane_geometry(capacity)
+        return simulate_conditional_distribution(
+            geometry, self.params, scheme, samples=samples, seed=seed
+        )
+
+    def simulate_capacity_probabilities(
+        self,
+        *,
+        horizon_hours: float = 3.0e6,
+        seed: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """Monte-Carlo estimate of ``P(k)`` from the independent DES."""
+        from repro.simulation.plane_process import simulate_capacity_distribution
+
+        config = CapacityModelConfig.from_params(self.params)
+        return simulate_capacity_distribution(
+            config, horizon_hours=horizon_hours, seed=seed
+        )
+
+    def sweep(self, field: str, values, scheme: Scheme, level: QoSLevel):
+        """Evaluate ``P(Y >= level)`` across a parameter sweep.
+
+        Returns ``[(value, probability), ...]``; each point uses a
+        fresh framework so capacity caching stays consistent.
+        """
+        results = []
+        for value in values:
+            params = self.params.with_(**{field: value})
+            framework = OAQFramework(
+                params,
+                capacity_stages=self.capacity_stages,
+                min_capacity=self.min_capacity,
+            )
+            results.append((value, framework.qos_measure(scheme, level)))
+        return results

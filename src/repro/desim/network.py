@@ -1,0 +1,167 @@
+"""Message-passing network over the DES kernel.
+
+Models the paper's inter-satellite crosslinks and the satellite-to-
+ground downlink: point-to-point messages with a configurable delivery
+delay (the paper's ``delta`` is the *maximum* inter-satellite delay;
+the default delivers in exactly ``delta``, a jitter hook is provided),
+**fail-silent** nodes -- a failed node neither sends nor receives,
+with no error signalled to peers, which is precisely the failure mode
+the OAQ "coordination done" timeout protects against -- and optional
+i.i.d. **message loss** for fault-injection studies (a lost message
+vanishes silently in flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.desim.kernel import Simulator
+from repro.errors import ConfigurationError, ProtocolError
+
+__all__ = ["MessageRecord", "Network"]
+
+Handler = Callable[[str, object], None]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """Log entry for one message (delivered or dropped)."""
+
+    time_sent: float
+    time_delivered: Optional[float]
+    source: str
+    destination: str
+    message: object
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the message never reached its destination."""
+        return self.time_delivered is None
+
+
+class Network:
+    """Point-to-point message transport with fail-silent nodes.
+
+    Parameters
+    ----------
+    simulator:
+        The DES kernel carrying the delivery events.
+    default_delay:
+        Delivery latency applied when ``send`` gets no explicit delay
+        (the protocol passes the paper's ``delta``).
+    delay_fn:
+        Optional jitter hook ``(source, destination) -> delay``
+        overriding the default.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        default_delay: float = 0.0,
+        delay_fn: Optional[Callable[[str, str], float]] = None,
+        loss_probability: float = 0.0,
+        rng=None,
+    ):
+        if default_delay < 0:
+            raise ConfigurationError(
+                f"default_delay must be >= 0, got {default_delay}"
+            )
+        if not 0.0 <= loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        if loss_probability > 0.0 and rng is None:
+            raise ConfigurationError(
+                "a random generator is required when loss_probability > 0"
+            )
+        self.simulator = simulator
+        self.default_delay = default_delay
+        self.delay_fn = delay_fn
+        self.loss_probability = loss_probability
+        self._rng = rng
+        self._handlers: Dict[str, Handler] = {}
+        self._failed: set = set()
+        self.log: List[MessageRecord] = []
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Attach a node: ``handler(source, message)`` is invoked on
+        each delivery."""
+        if name in self._handlers:
+            raise ConfigurationError(f"node {name!r} is already registered")
+        self._handlers[name] = handler
+
+    def fail(self, name: str) -> None:
+        """Make a node fail-silent from now on."""
+        if name not in self._handlers:
+            raise ConfigurationError(f"unknown node {name!r}")
+        self._failed.add(name)
+
+    def restore(self, name: str) -> None:
+        """Undo :meth:`fail` (for repair scenarios)."""
+        self._failed.discard(name)
+
+    def is_failed(self, name: str) -> bool:
+        """Whether the node is currently fail-silent."""
+        return name in self._failed
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        message: object,
+        *,
+        delay: Optional[float] = None,
+    ) -> None:
+        """Send ``message``; it is silently dropped when either endpoint
+        is fail-silent (the sender never learns -- that is the point of
+        fail-silence)."""
+        if destination not in self._handlers:
+            raise ProtocolError(f"message to unknown node {destination!r}")
+        if delay is None:
+            if self.delay_fn is not None:
+                delay = self.delay_fn(source, destination)
+            else:
+                delay = self.default_delay
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        sent_at = self.simulator.now
+        if source in self._failed:
+            self.log.append(MessageRecord(sent_at, None, source, destination, message))
+            return
+        if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:
+            # Crosslink corruption/erasure: the message vanishes in
+            # flight, silently (the sender cannot tell).
+            self.log.append(MessageRecord(sent_at, None, source, destination, message))
+            return
+        # Deliveries outrank timers at equal timestamps: a notification
+        # arriving exactly at a protocol timeout is processed first.
+        self.simulator.schedule(
+            delay,
+            self._deliver,
+            sent_at,
+            source,
+            destination,
+            message,
+            priority=-1,
+        )
+
+    def _deliver(
+        self, sent_at: float, source: str, destination: str, message: object
+    ) -> None:
+        if destination in self._failed:
+            self.log.append(MessageRecord(sent_at, None, source, destination, message))
+            return
+        self.log.append(
+            MessageRecord(sent_at, self.simulator.now, source, destination, message)
+        )
+        self._handlers[destination](source, message)
+
+    def delivered_count(self) -> int:
+        """Messages delivered so far."""
+        return sum(1 for record in self.log if not record.dropped)
+
+    def dropped_count(self) -> int:
+        """Messages dropped due to fail-silence."""
+        return sum(1 for record in self.log if record.dropped)

@@ -1,0 +1,60 @@
+"""Generator-based processes on top of the event kernel.
+
+A process is a generator that ``yield``s non-negative delays; the
+kernel resumes it after each delay.  This gives sequential scenario
+scripts (e.g. "wait for the footprint, take measurements, wait,
+decide") without hand-rolled callback chains.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.desim.kernel import Event, Simulator
+from repro.errors import ConfigurationError
+
+__all__ = ["Process", "spawn"]
+
+ProcessGenerator = Generator[float, None, None]
+
+
+class Process:
+    """A running generator process."""
+
+    def __init__(self, simulator: Simulator, generator: ProcessGenerator):
+        self.simulator = simulator
+        self._generator = generator
+        self._event: Optional[Event] = None
+        self.finished = False
+
+    def _resume(self) -> None:
+        if self.finished:
+            return
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self.finished = True
+            self._event = None
+            return
+        if delay is None or delay < 0:
+            raise ConfigurationError(
+                f"process yielded invalid delay {delay!r}; yield a float >= 0"
+            )
+        self._event = self.simulator.schedule(float(delay), self._resume)
+
+    def interrupt(self) -> None:
+        """Stop the process; its generator is closed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if not self.finished:
+            self._generator.close()
+            self.finished = True
+
+
+def spawn(simulator: Simulator, generator: ProcessGenerator) -> Process:
+    """Start a generator process immediately (its body runs up to the
+    first ``yield`` at the current simulation time)."""
+    process = Process(simulator, generator)
+    process._resume()
+    return process

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the OAQ reproduction library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or scenario was configured with invalid parameters."""
+
+
+class ModelError(ReproError):
+    """A model is structurally ill-formed (e.g. an absorbing SAN marking
+    where none is expected, or a non-ergodic chain passed to a
+    steady-state solver)."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to converge or produced an invalid
+    result (e.g. a singular normal-equation matrix in the WLS
+    estimator)."""
+
+
+class StateSpaceExplosionError(ModelError):
+    """Reachability-graph generation exceeded the configured state
+    budget."""
+
+    def __init__(self, limit: int):
+        super().__init__(
+            f"state-space generation exceeded the limit of {limit} markings; "
+            "raise max_states or simplify the model"
+        )
+        self.limit = limit
+
+
+class ProtocolError(ReproError):
+    """The OAQ coordination protocol reached an inconsistent state
+    (indicates a bug in a scenario definition, not in a satellite --
+    genuine node failures are simulated as fail-silence, never as
+    exceptions)."""

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per table/figure of the paper's
+evaluation plus the reproduction's own validation and ablation studies.
+
+Run everything with ``python -m repro.experiments``; each module also
+has its own ``main()``.
+"""
+
+from repro.experiments import (
+    aging_exp,
+    calibration_exp,
+    fig7,
+    fig8,
+    fig9,
+    geolocation_exp,
+    geometry_exp,
+    montecarlo_exp,
+    multiplane_exp,
+    orbits_exp,
+    protocol_exp,
+    robustness_exp,
+    san_ablation,
+    sweeps,
+    table1,
+    text_results,
+)
+from repro.experiments.report import ExperimentResult, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "aging_exp",
+    "calibration_exp",
+    "fig7",
+    "fig8",
+    "fig9",
+    "format_table",
+    "geolocation_exp",
+    "geometry_exp",
+    "montecarlo_exp",
+    "multiplane_exp",
+    "orbits_exp",
+    "protocol_exp",
+    "robustness_exp",
+    "san_ablation",
+    "sweeps",
+    "table1",
+    "text_results",
+]

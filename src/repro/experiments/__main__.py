@@ -1,0 +1,106 @@
+"""Run every experiment and print the report tables.
+
+Usage::
+
+    python -m repro.experiments            # quick set (analytic only)
+    python -m repro.experiments --full     # everything, incl. simulation
+    python -m repro.experiments --plots    # + ASCII charts of the figures
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    aging_exp,
+    calibration_exp,
+    fig7,
+    fig8,
+    fig9,
+    geolocation_exp,
+    geometry_exp,
+    montecarlo_exp,
+    multiplane_exp,
+    orbits_exp,
+    protocol_exp,
+    robustness_exp,
+    san_ablation,
+    sweeps,
+    table1,
+    text_results,
+)
+
+
+def _plot(result, x_header: str) -> str:
+    """Render an experiment's numeric columns as an ASCII chart."""
+    from repro.experiments.ascii_plot import line_chart
+
+    series = {}
+    for header in result.headers:
+        if header == x_header:
+            continue
+        points = []
+        for row in result.rows:
+            try:
+                x = float(row[x_header])
+                y = float(row[header])
+            except (TypeError, ValueError):
+                continue
+            points.append((x, y))
+        if points:
+            series[header] = points
+    return line_chart(series, title=f"[{result.experiment_id}] {result.title}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also run the slow simulation-backed experiments",
+    )
+    parser.add_argument(
+        "--plots",
+        action="store_true",
+        help="render the figure experiments as ASCII charts too",
+    )
+    args = parser.parse_args()
+
+    figure_x_headers = {"fig7": "lambda", "fig8": "lambda", "fig9": "lambda",
+                        "tau-sweep": "tau", "mu-sweep": "mean duration"}
+    sections = [
+        table1.run(),
+        geometry_exp.run(),
+        text_results.run(),
+        fig7.run(),
+        fig8.run(),
+        fig9.run(),
+        sweeps.run_tau_sweep(),
+        sweeps.run_mu_sweep(),
+        robustness_exp.run(),
+        aging_exp.run(),
+        multiplane_exp.run(),
+    ]
+    for result in sections:
+        print(result.render())
+        print()
+        if args.plots and result.experiment_id in figure_x_headers:
+            print(_plot(result, figure_x_headers[result.experiment_id]))
+            print()
+    if args.full:
+        for result in (
+            montecarlo_exp.run_conditional_validation(),
+            montecarlo_exp.run_capacity_validation(),
+            protocol_exp.run(),
+            geolocation_exp.run(),
+            orbits_exp.run_constants(),
+            orbits_exp.run_latitude_profile(),
+            san_ablation.run(),
+            calibration_exp.run(),
+        ):
+            print(result.render())
+            print()
+
+
+if __name__ == "__main__":
+    main()

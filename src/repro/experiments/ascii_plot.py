@@ -1,0 +1,97 @@
+"""Plain-text line charts for the experiment harness.
+
+The paper's evaluation is presented as figures; this module renders the
+regenerated series as ASCII charts so ``python -m repro.experiments
+--plots`` shows the curve *shapes* (who wins, where the crossovers are)
+directly in a terminal or CI log, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart"]
+
+#: Symbols assigned to series, in order.
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi == lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(position * (cells - 1)))))
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    y_range: "Tuple[float, float] | None" = None,
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to its points.  All series share the
+        axes; each gets a marker from a fixed cycle.
+    y_range:
+        Explicit ``(lo, hi)`` for the y axis; inferred when None.
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart must be at least 10x4 cells")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ConfigurationError("line_chart needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    if y_range is None:
+        y_lo, y_hi = min(ys), max(ys)
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+    else:
+        y_lo, y_hi = y_range
+        if y_hi <= y_lo:
+            raise ConfigurationError(f"invalid y_range {y_range}")
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            column = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            current = grid[row][column]
+            grid[row][column] = "*" if current not in (" ", marker) else marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_hi:.2f}"), len(f"{y_lo:.2f}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_hi:.2f}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_lo:.2f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    axis = f"{' ' * label_width} +{'-' * width}+"
+    lines.append(axis)
+    x_left = f"{x_lo:.6g}"
+    x_right = f"{x_hi:.6g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        f"{' ' * label_width}  {x_left}{' ' * max(1, padding)}{x_right}"
+    )
+    lines.append(f"{' ' * label_width}  legend: {'   '.join(legend)}")
+    return "\n".join(lines)

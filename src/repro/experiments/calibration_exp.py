@@ -1,0 +1,105 @@
+"""Experiment ``calibration``: fitting the unpublished replacement
+latency against the paper's Figure 9 anchors.
+
+The one free parameter of the reproduction is the launch-to-arrival
+latency of a threshold-triggered replacement ground spare.  This
+experiment sweeps it and scores each candidate against the four anchor
+values the paper prints (OAQ/BAQ ``P(Y >= 2)`` at ``lambda`` 1e-5 and
+1e-4), justifying the calibrated default quantitatively rather than by
+fiat.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analytic.capacity import CapacityModelConfig, capacity_distribution
+from repro.analytic.composition import compose
+from repro.analytic.qos_model import conditional_distribution
+from repro.core.config import EvaluationParams
+from repro.core.qos import QoSLevel
+from repro.core.schemes import Scheme
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["ANCHORS", "anchor_errors", "run"]
+
+#: The paper's in-text Fig. 9 anchors: (lambda, scheme, P(Y>=2)).
+ANCHORS = (
+    (1e-5, Scheme.OAQ, 0.75),
+    (1e-5, Scheme.BAQ, 0.33),
+    (1e-4, Scheme.OAQ, 0.41),
+    (1e-4, Scheme.BAQ, 0.04),
+)
+
+
+def _measure(lam: float, scheme: Scheme, latency_hours: float, stages: int) -> float:
+    params = EvaluationParams(
+        signal_termination_rate=0.2,
+        node_failure_rate_per_hour=lam,
+        deployment_threshold=10,
+        replacement_latency_hours=latency_hours,
+    )
+    config = CapacityModelConfig.from_params(params)
+    # No truncation here: long latencies push real mass below the
+    # paper's k >= 9 floor and it must be scored, not renormalised
+    # away.
+    capacity = {
+        k: p
+        for k, p in capacity_distribution(config, stages=stages).items()
+        if k >= 1
+    }
+    composed = compose(
+        capacity,
+        lambda k: conditional_distribution(
+            params.constellation.plane_geometry(k), params, scheme
+        ),
+    )
+    return composed.at_least(QoSLevel.SEQUENTIAL_DUAL)
+
+
+def anchor_errors(latency_hours: float, *, stages: int = 16) -> dict:
+    """Absolute error against each anchor for one latency candidate."""
+    errors = {}
+    for lam, scheme, target in ANCHORS:
+        measured = _measure(lam, scheme, latency_hours, stages)
+        errors[(lam, scheme)] = abs(measured - target)
+    return errors
+
+
+def run(
+    *,
+    latencies_hours: Sequence[float] = (24.0, 72.0, 168.0, 336.0, 720.0),
+    stages: int = 16,
+) -> ExperimentResult:
+    """Score each latency candidate against the Fig. 9 anchors."""
+    headers = ["latency (h)"] + [
+        f"|err| {scheme.name}@{lam:.0e}" for lam, scheme, _ in ANCHORS
+    ] + ["max |err|"]
+    rows = []
+    for latency in latencies_hours:
+        errors = anchor_errors(latency, stages=stages)
+        row = {"latency (h)": latency}
+        for lam, scheme, _ in ANCHORS:
+            row[f"|err| {scheme.name}@{lam:.0e}"] = errors[(lam, scheme)]
+        row["max |err|"] = max(errors.values())
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="calibration",
+        title="Replacement-latency calibration against the Fig. 9 anchors",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "The anchor fit is nearly flat for latencies up to ~170 h and "
+            "degrades beyond; within the flat region, 168 h (the default) "
+            "is the value that also makes Fig. 7's P(eta-1) curve visibly "
+            "non-zero at high lambda, as printed in the paper.",
+        ],
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Experiment ``ablation-phases``: how many Erlang stages do the
+deterministic timers need?
+
+UltraSAN solved the capacity model with native deterministic
+activities; our numerical path approximates each deterministic timer by
+an Erlang chain.  This ablation sweeps the stage count and reports the
+total-variation distance of ``P(k)`` from (a) the highest-stage
+solution and (b) the exact-deterministic DES, plus the all-exponential
+baseline -- quantifying why deterministic-timer support matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analytic.capacity import (
+    CapacityModelConfig,
+    capacity_distribution,
+    capacity_distribution_exponential,
+    capacity_distribution_simulated,
+)
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["total_variation", "run"]
+
+
+def total_variation(p: Dict[int, float], q: Dict[int, float]) -> float:
+    """Total-variation distance between two capacity distributions."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def run(
+    *,
+    stage_grid: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
+    lam: float = 5e-5,
+    threshold: int = 10,
+    simulate: bool = True,
+    horizon_hours: float = 1.5e6,
+    seed: Optional[int] = 11,
+) -> ExperimentResult:
+    """Stage-count ablation at one representative ``lambda``."""
+    config = CapacityModelConfig(failure_rate_per_hour=lam, threshold=threshold)
+    reference = capacity_distribution(config, stages=max(stage_grid))
+    simulated = (
+        capacity_distribution_simulated(
+            config, horizon_hours=horizon_hours, seed=seed
+        )
+        if simulate
+        else None
+    )
+    headers = ["stages", "TV vs max stages", "TV vs exact DES"]
+    rows = []
+    exponential = capacity_distribution_exponential(config)
+    rows.append(
+        {
+            "stages": "exp (no det support)",
+            "TV vs max stages": total_variation(exponential, reference),
+            "TV vs exact DES": (
+                total_variation(exponential, simulated) if simulated else "-"
+            ),
+        }
+    )
+    for stages in stage_grid:
+        solution = capacity_distribution(config, stages=stages)
+        rows.append(
+            {
+                "stages": stages,
+                "TV vs max stages": total_variation(solution, reference),
+                "TV vs exact DES": (
+                    total_variation(solution, simulated) if simulated else "-"
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation-phases",
+        title=(
+            "Erlang-stage ablation for the deterministic timers "
+            f"(lambda={lam:.0e}, eta={threshold})"
+        ),
+        headers=headers,
+        rows=rows,
+        notes=[
+            "stages=1 is a plain exponential of equal mean; the gap to the "
+            "high-stage solution is the price of lacking deterministic-"
+            "activity support (what UltraSAN provided natively).",
+        ],
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

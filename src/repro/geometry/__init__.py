@@ -1,0 +1,41 @@
+"""Footprint geometry of orbital planes (paper Sections 2 and 4.2.1).
+
+Public surface:
+
+* :class:`~repro.geometry.plane.PlaneGeometry` -- ``Tr[k]``, ``Tc``,
+  ``L1[k]``, ``L2[k]``, indicator ``I[k]`` and opportunity bound
+  ``M[k]``;
+* :class:`~repro.geometry.intervals.FootprintCycle` -- the alpha/beta/
+  gamma cycle a ground point observes (paper Figure 6);
+* :func:`~repro.geometry.theorems.simultaneous_window` and
+  :func:`~repro.geometry.theorems.sequential_window` -- Theorems 1-2
+  opportunity windows.
+"""
+
+from repro.geometry.intervals import CoverageKind, FootprintCycle, Interval
+from repro.geometry.plane import (
+    REFERENCE_COVERAGE_TIME,
+    REFERENCE_ORBIT_PERIOD,
+    PlaneGeometry,
+)
+from repro.geometry.theorems import (
+    OpportunityWindow,
+    sequential_window,
+    simultaneous_window,
+    theorem1_admits,
+    theorem2_admits,
+)
+
+__all__ = [
+    "CoverageKind",
+    "FootprintCycle",
+    "Interval",
+    "OpportunityWindow",
+    "PlaneGeometry",
+    "REFERENCE_COVERAGE_TIME",
+    "REFERENCE_ORBIT_PERIOD",
+    "sequential_window",
+    "simultaneous_window",
+    "theorem1_admits",
+    "theorem2_admits",
+]

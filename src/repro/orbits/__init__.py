@@ -1,0 +1,88 @@
+"""Orbital-mechanics substrate (the reproduction's SOAP substitute).
+
+Circular/Keplerian propagation, frame conversions, footprint geometry,
+Walker-style constellation construction with failure + rephasing, and
+coverage analytics that validate the paper's coarse-grained constants
+(``Tc = 9`` min, ``Tr[k] = theta/k``, latitude overlap profile).
+"""
+
+from repro.orbits.bodies import EARTH, Body
+from repro.orbits.constellation import (
+    Constellation,
+    OrbitalPlane,
+    Satellite,
+    build_reference_constellation,
+)
+from repro.orbits.footprint import (
+    Footprint,
+    coverage_time_minutes,
+    elevation_from_half_angle,
+    half_angle_for_coverage_time,
+    half_angle_from_elevation,
+)
+from repro.orbits.frames import (
+    GeodeticPoint,
+    central_angle,
+    ecef_to_eci,
+    ecef_to_geodetic,
+    ecef_to_geodetic_wgs84,
+    eci_to_ecef,
+    geodetic_to_ecef,
+    gmst_rad,
+    great_circle_distance_km,
+    subsatellite_point,
+)
+from repro.orbits.j2 import (
+    SUN_SYNCHRONOUS_RATE_RAD_S,
+    J2CircularOrbit,
+    raan_drift_rate,
+    sun_synchronous_inclination,
+)
+from repro.orbits.kepler import CircularOrbit, KeplerianOrbit, solve_kepler
+from repro.orbits.coverage import (
+    CoverageSeries,
+    coverage_multiplicity,
+    coverage_series,
+    covering_satellites,
+    latitude_overlap_profile,
+    measured_coverage_time_minutes,
+    measured_revisit_time_minutes,
+)
+
+__all__ = [
+    "EARTH",
+    "Body",
+    "CircularOrbit",
+    "Constellation",
+    "CoverageSeries",
+    "Footprint",
+    "GeodeticPoint",
+    "J2CircularOrbit",
+    "KeplerianOrbit",
+    "OrbitalPlane",
+    "SUN_SYNCHRONOUS_RATE_RAD_S",
+    "Satellite",
+    "build_reference_constellation",
+    "central_angle",
+    "coverage_multiplicity",
+    "coverage_series",
+    "coverage_time_minutes",
+    "covering_satellites",
+    "ecef_to_eci",
+    "ecef_to_geodetic",
+    "ecef_to_geodetic_wgs84",
+    "eci_to_ecef",
+    "elevation_from_half_angle",
+    "geodetic_to_ecef",
+    "gmst_rad",
+    "great_circle_distance_km",
+    "half_angle_for_coverage_time",
+    "half_angle_from_elevation",
+    "latitude_overlap_profile",
+    "measured_coverage_time_minutes",
+    "measured_revisit_time_minutes",
+    "raan_drift_rate",
+    "solve_kepler",
+    "sun_synchronous_inclination",
+    "subsatellite_point",
+]

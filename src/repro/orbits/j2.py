@@ -1,0 +1,126 @@
+"""Secular J2 perturbations for circular orbits (extension).
+
+The Earth's oblateness makes orbital planes precess: the RAAN drifts at
+
+``d(RAAN)/dt = -(3/2) n J2 (Re / a)^2 cos(i)``
+
+and the in-plane motion picks up a small secular correction.  For
+constellation design this matters in two ways the base model ignores:
+
+* plane spacing is only preserved if all planes share the same
+  inclination and altitude (equal drift) -- which Walker designs do;
+* sun-synchronous missions pick the inclination whose drift matches
+  the Earth's mean motion around the Sun (~0.9856 deg/day).
+
+:class:`J2CircularOrbit` wraps :class:`~repro.orbits.kepler.CircularOrbit`
+with these secular rates; :func:`sun_synchronous_inclination` solves the
+design equation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SolverError
+from repro.orbits.bodies import EARTH, Body
+from repro.orbits.frames import rotation_x, rotation_z
+from repro.orbits.kepler import CircularOrbit
+
+__all__ = [
+    "SUN_SYNCHRONOUS_RATE_RAD_S",
+    "J2CircularOrbit",
+    "raan_drift_rate",
+    "sun_synchronous_inclination",
+]
+
+#: Required nodal drift for sun-synchronism: one revolution per
+#: tropical year (rad/s).
+SUN_SYNCHRONOUS_RATE_RAD_S = 2.0 * math.pi / (365.2422 * 86400.0)
+
+
+def raan_drift_rate(
+    altitude_km: float, inclination: float, body: Body = EARTH
+) -> float:
+    """Secular RAAN drift of a circular orbit (rad/s)."""
+    if altitude_km <= 0:
+        raise ConfigurationError(f"altitude_km must be positive, got {altitude_km}")
+    a = body.radius_km + altitude_km
+    n = 2.0 * math.pi / body.period_s(a)
+    return -1.5 * n * body.j2 * (body.radius_km / a) ** 2 * math.cos(inclination)
+
+
+def sun_synchronous_inclination(altitude_km: float, body: Body = EARTH) -> float:
+    """Inclination making a circular orbit sun-synchronous (radians).
+
+    Solves ``raan_drift(i) = +SUN_SYNCHRONOUS_RATE``; feasible only up
+    to the altitude where the required ``cos(i)`` magnitude exceeds 1.
+    """
+    if altitude_km <= 0:
+        raise ConfigurationError(f"altitude_km must be positive, got {altitude_km}")
+    a = body.radius_km + altitude_km
+    n = 2.0 * math.pi / body.period_s(a)
+    cos_i = -SUN_SYNCHRONOUS_RATE_RAD_S / (
+        1.5 * n * body.j2 * (body.radius_km / a) ** 2
+    )
+    if not -1.0 <= cos_i <= 1.0:
+        raise SolverError(
+            f"no sun-synchronous inclination exists at {altitude_km} km"
+        )
+    return math.acos(cos_i)
+
+
+@dataclass(frozen=True)
+class J2CircularOrbit:
+    """A circular orbit with secular J2 nodal regression.
+
+    The osculating orbit at time ``t`` is the base orbit with
+    ``raan(t) = raan0 + raan_drift * t``; the in-plane rate uses the
+    J2-corrected nodal period.
+    """
+
+    base: CircularOrbit
+
+    def raan_rate(self, body: Body = EARTH) -> float:
+        """Secular RAAN drift (rad/s)."""
+        return raan_drift_rate(self.base.altitude_km, self.base.inclination, body)
+
+    def nodal_rate(self, body: Body = EARTH) -> float:
+        """J2-corrected argument-of-latitude rate (rad/s): the draconic
+        (node-to-node) angular rate."""
+        a = self.base.radius_km(body)
+        n = self.base.mean_motion(body)
+        correction = (
+            1.0
+            - 1.5
+            * body.j2
+            * (body.radius_km / a) ** 2
+            * (1.0 - 4.0 * math.cos(self.base.inclination) ** 2)
+        )
+        return n * correction
+
+    def raan_at(self, time_s: float, body: Body = EARTH) -> float:
+        """RAAN at ``time_s``."""
+        return self.base.raan + self.raan_rate(body) * time_s
+
+    def position_eci(self, time_s: float, body: Body = EARTH) -> np.ndarray:
+        """ECI position (km) including nodal regression."""
+        u = self.base.phase + self.nodal_rate(body) * time_s
+        r = self.base.radius_km(body)
+        in_plane = np.array([r * math.cos(u), r * math.sin(u), 0.0])
+        rotation = rotation_z(self.raan_at(time_s, body)) @ rotation_x(
+            self.base.inclination
+        )
+        return rotation @ in_plane
+
+    def is_sun_synchronous(self, *, tolerance: float = 0.02, body: Body = EARTH) -> bool:
+        """Whether the drift matches the sun-synchronous rate within a
+        relative ``tolerance``."""
+        rate = self.raan_rate(body)
+        if rate <= 0.0:
+            return False
+        return abs(rate - SUN_SYNCHRONOUS_RATE_RAD_S) <= (
+            tolerance * SUN_SYNCHRONOUS_RATE_RAD_S
+        )

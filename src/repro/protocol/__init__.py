@@ -1,0 +1,42 @@
+"""The OAQ coordination protocol (paper Section 3): satellite state
+machines, crosslink messages, ground station and scenario runner."""
+
+from repro.protocol.accuracy_model import (
+    AccuracyModel,
+    EmpiricalWLSAccuracyModel,
+    GeometricAccuracyModel,
+)
+from repro.protocol.ground import GroundStation
+from repro.protocol.membership import (
+    MemberNode,
+    MembershipConfig,
+    MembershipGroup,
+)
+from repro.protocol.messages import (
+    AlertMessage,
+    CoordinationDone,
+    CoordinationRequest,
+    GeolocationEstimate,
+)
+from repro.protocol.runner import CenterlineScenario, ScenarioOutcome
+from repro.protocol.satellite import MessagingVariant, OAQSatellite
+from repro.protocol.signal import Signal
+
+__all__ = [
+    "AccuracyModel",
+    "AlertMessage",
+    "CenterlineScenario",
+    "EmpiricalWLSAccuracyModel",
+    "CoordinationDone",
+    "CoordinationRequest",
+    "GeolocationEstimate",
+    "GeometricAccuracyModel",
+    "GroundStation",
+    "MemberNode",
+    "MembershipConfig",
+    "MembershipGroup",
+    "MessagingVariant",
+    "OAQSatellite",
+    "ScenarioOutcome",
+    "Signal",
+]

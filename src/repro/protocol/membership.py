@@ -1,0 +1,366 @@
+"""Group membership for an orbital plane (paper Section 5 future work).
+
+The paper closes with: "our current work is directed toward adapting
+group membership management techniques to the applications in the
+environments of distributed autonomous mobile computing."  This module
+implements that extension: a heartbeat-based, view-synchronous group
+membership protocol for the satellites of one orbital plane, running
+over the same crosslink network as the OAQ protocol.
+
+Design, adapted to the constellation setting:
+
+* satellites form a **ring** (the plane's physical topology): each
+  node exchanges heartbeats with its ring successor and predecessor
+  only -- crosslink budgets are tight on micro-satellites;
+* a node that misses heartbeats for ``suspicion_timeout`` is declared
+  failed by a neighbour, which installs and **disseminates a new view**
+  (monotonically versioned) around the ring;
+* view updates are idempotent and merge by version, so concurrent
+  suspicions converge;
+* a restored (or newly launched) satellite **rejoins** by announcing
+  itself to a neighbour, triggering another view change.
+
+The membership service is what the OAQ coordination layer would use to
+pick "the peer expected to visit the target next" when satellites can
+fail at any time -- the ``next_peer`` hook of
+:class:`~repro.protocol.satellite.OAQSatellite` can be served directly
+from a node's current view.
+
+Properties (asserted by the tests):
+
+* **accuracy** -- while heartbeats flow, no correct node is ever
+  removed from a correct node's view (requires ``suspicion_timeout >
+  heartbeat_interval + 2*delta``);
+* **completeness** -- a fail-silent node is removed from every correct
+  node's view within ``suspicion_timeout + ring-dissemination`` time;
+* **agreement** -- once the system quiesces, all correct nodes hold
+  identical views;
+* **monotonicity** -- a node's installed view version never decreases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.desim.kernel import Event, Simulator
+from repro.desim.network import Network
+from repro.errors import ConfigurationError, ProtocolError
+
+__all__ = [
+    "MembershipConfig",
+    "Heartbeat",
+    "ViewUpdate",
+    "JoinAnnouncement",
+    "MemberNode",
+    "MembershipGroup",
+]
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Timing parameters of the membership protocol (minutes).
+
+    Attributes
+    ----------
+    heartbeat_interval:
+        Period of heartbeat emission to ring neighbours.
+    suspicion_timeout:
+        Silence duration after which a neighbour is declared failed.
+        Must exceed ``heartbeat_interval + 2 * crosslink delay`` or the
+        protocol loses accuracy (the constructor enforces a margin).
+    crosslink_delay:
+        One-hop message latency (the paper's ``delta``).
+    """
+
+    heartbeat_interval: float = 0.5
+    suspicion_timeout: float = 1.6
+    crosslink_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.crosslink_delay < 0:
+            raise ConfigurationError(
+                f"crosslink_delay must be >= 0, got {self.crosslink_delay}"
+            )
+        minimum = self.heartbeat_interval + 2.0 * self.crosslink_delay
+        if self.suspicion_timeout <= minimum:
+            raise ConfigurationError(
+                f"suspicion_timeout ({self.suspicion_timeout}) must exceed "
+                f"heartbeat_interval + 2*crosslink_delay ({minimum}) to "
+                "preserve accuracy"
+            )
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness signal to a ring neighbour."""
+
+    sender: str
+
+
+@dataclass(frozen=True)
+class ViewUpdate:
+    """A new membership view, flooded around the ring."""
+
+    version: int
+    members: Tuple[str, ...]
+    originator: str
+
+
+@dataclass(frozen=True)
+class JoinAnnouncement:
+    """A restored/new satellite asking to be re-admitted."""
+
+    joiner: str
+
+
+class MemberNode:
+    """One satellite's membership agent."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        network: Network,
+        config: MembershipConfig,
+        initial_members: Sequence[str],
+    ):
+        self.name = name
+        self.simulator = simulator
+        self.network = network
+        self.config = config
+        self.view: Tuple[str, ...] = tuple(sorted(initial_members))
+        self.view_version = 0
+        self.version_history: List[int] = [0]
+        self._last_heard: Dict[str, float] = {}
+        self._heartbeat_event: Optional[Event] = None
+        self._check_event: Optional[Event] = None
+        network.register(name, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def _ring_neighbours(self) -> List[str]:
+        members = [m for m in self.view]
+        if self.name not in members or len(members) < 2:
+            return []
+        index = members.index(self.name)
+        successor = members[(index + 1) % len(members)]
+        predecessor = members[(index - 1) % len(members)]
+        return list({successor, predecessor} - {self.name})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin emitting heartbeats and monitoring neighbours."""
+        now = self.simulator.now
+        for neighbour in self._ring_neighbours():
+            self._last_heard[neighbour] = now
+        self._emit_heartbeats()
+        self._schedule_check()
+
+    def stop(self) -> None:
+        """Stop timers (used when a node is failed by the scenario)."""
+        for event in (self._heartbeat_event, self._check_event):
+            if event is not None:
+                event.cancel()
+        self._heartbeat_event = self._check_event = None
+
+    def rejoin(self) -> None:
+        """Announce this (restored) node to a live neighbour."""
+        # The rejoining node knows the constellation roster; it asks the
+        # nearest live satellite for re-admission.
+        candidates = [m for m in self.view if m != self.name]
+        if not candidates:
+            raise ProtocolError(f"{self.name} has no peer to rejoin through")
+        self.network.send(
+            self.name,
+            candidates[0],
+            JoinAnnouncement(joiner=self.name),
+            delay=self.config.crosslink_delay,
+        )
+        self.start()
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _emit_heartbeats(self) -> None:
+        if self.network.is_failed(self.name):
+            return
+        for neighbour in self._ring_neighbours():
+            self.network.send(
+                self.name,
+                neighbour,
+                Heartbeat(sender=self.name),
+                delay=self.config.crosslink_delay,
+            )
+        self._heartbeat_event = self.simulator.schedule(
+            self.config.heartbeat_interval, self._emit_heartbeats
+        )
+
+    def _schedule_check(self) -> None:
+        self._check_event = self.simulator.schedule(
+            self.config.heartbeat_interval, self._check_neighbours
+        )
+
+    def _check_neighbours(self) -> None:
+        if self.network.is_failed(self.name):
+            return
+        now = self.simulator.now
+        suspects = [
+            neighbour
+            for neighbour in self._ring_neighbours()
+            if now - self._last_heard.get(neighbour, now)
+            > self.config.suspicion_timeout
+        ]
+        for suspect in suspects:
+            self._remove_member(suspect)
+        self._schedule_check()
+
+    # ------------------------------------------------------------------
+    # View management
+    # ------------------------------------------------------------------
+    def _install(self, version: int, members: Tuple[str, ...]) -> bool:
+        if version <= self.view_version:
+            return False
+        previous_neighbours = set(self._ring_neighbours())
+        self.view = tuple(sorted(members))
+        self.view_version = version
+        self.version_history.append(version)
+        now = self.simulator.now
+        for neighbour in set(self._ring_neighbours()) - previous_neighbours:
+            self._last_heard.setdefault(neighbour, now)
+        return True
+
+    def _flood(self) -> None:
+        update = ViewUpdate(
+            version=self.view_version,
+            members=self.view,
+            originator=self.name,
+        )
+        for neighbour in self._ring_neighbours():
+            self.network.send(
+                self.name, neighbour, update, delay=self.config.crosslink_delay
+            )
+
+    def _remove_member(self, member: str) -> None:
+        if member not in self.view:
+            return
+        members = tuple(m for m in self.view if m != member)
+        self._install(self.view_version + 1, members)
+        self._flood()
+
+    def _add_member(self, member: str) -> None:
+        if member in self.view:
+            return
+        members = tuple(sorted((*self.view, member)))
+        self._install(self.view_version + 1, members)
+        self._flood()
+
+    # ------------------------------------------------------------------
+    # Messages
+    # ------------------------------------------------------------------
+    def on_message(self, source: str, message: object) -> None:
+        if isinstance(message, Heartbeat):
+            self._last_heard[message.sender] = self.simulator.now
+            return
+        if isinstance(message, ViewUpdate):
+            if message.version == self.view_version and set(
+                message.members
+            ) != set(self.view):
+                # Concurrent view changes collided on the version
+                # number (e.g. two disjoint failures detected at the
+                # same time).  Merge deterministically -- intersection,
+                # so removals win -- under a bumped version; the merge
+                # is commutative, so all nodes converge on it.
+                merged = tuple(
+                    sorted(set(message.members) & set(self.view))
+                )
+                if merged and self._install(self.view_version + 1, merged):
+                    self._flood()
+                return
+            if self._install(message.version, message.members):
+                self._flood()
+            return
+        if isinstance(message, JoinAnnouncement):
+            self._add_member(message.joiner)
+            return
+        raise ProtocolError(
+            f"{self.name} received unexpected membership message {message!r}"
+        )
+
+
+class MembershipGroup:
+    """Convenience wrapper: a whole plane's membership service.
+
+    Builds one :class:`MemberNode` per satellite on a shared network,
+    starts them, and offers scenario-level queries (fail a node, let a
+    node rejoin, inspect convergence).
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        *,
+        config: Optional[MembershipConfig] = None,
+        simulator: Optional[Simulator] = None,
+    ):
+        if len(names) < 2:
+            raise ConfigurationError("a membership group needs >= 2 nodes")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate node names: {names}")
+        self.config = config or MembershipConfig()
+        self.simulator = simulator or Simulator()
+        self.network = Network(
+            self.simulator, default_delay=self.config.crosslink_delay
+        )
+        self.nodes: Dict[str, MemberNode] = {
+            name: MemberNode(
+                name, self.simulator, self.network, self.config, names
+            )
+            for name in names
+        }
+        for node in self.nodes.values():
+            node.start()
+
+    def fail(self, name: str) -> None:
+        """Make a node fail-silent (it keeps no timers either)."""
+        self.nodes[name].stop()
+        self.network.fail(name)
+
+    def restore(self, name: str) -> None:
+        """Restore a failed node and have it rejoin the group."""
+        self.network.restore(name)
+        self.nodes[name].rejoin()
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation."""
+        self.simulator.run_until(self.simulator.now + duration)
+
+    def correct_nodes(self) -> List[MemberNode]:
+        """Nodes that are not currently fail-silent."""
+        return [
+            node
+            for name, node in self.nodes.items()
+            if not self.network.is_failed(name)
+        ]
+
+    def views(self) -> Dict[str, Tuple[str, ...]]:
+        """Current view of every correct node."""
+        return {node.name: node.view for node in self.correct_nodes()}
+
+    def converged(self) -> bool:
+        """Whether all correct nodes hold identical views."""
+        views = {node.view for node in self.correct_nodes()}
+        return len(views) == 1
+
+    def agreed_view(self) -> Tuple[str, ...]:
+        """The common view (raises if not converged)."""
+        if not self.converged():
+            raise ProtocolError(f"views diverge: {self.views()}")
+        return self.correct_nodes()[0].view

@@ -1,0 +1,301 @@
+"""Scenario runner: drives the OAQ protocol for a signal on the centre
+line of one plane's footprint trajectory (the paper's worst-case
+evaluation setting).
+
+Physical timeline (minutes; signal onset at ``t = 0``): the cycle
+convention of :class:`~repro.geometry.intervals.FootprintCycle` places
+the onset at cycle position ``x`` measured from the start of the
+singly-covered interval ``alpha``.  Satellite ``j`` (0-based visit
+order; protocol name ``S{j+1}``) covers the target during::
+
+    [ j*L1 - x - offset,  j*L1 - x - offset + Tc )
+
+with ``offset = L2`` for an overlapping plane (its coverage begins when
+it starts sharing the point with its predecessor) and ``offset = 0``
+for an underlapping one.  The runner schedules footprint arrivals,
+double-coverage onsets (overlap case) and fail-silence injections, then
+lets the satellites run the Section 3.2 protocol over the simulated
+crosslinks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytic.distributions import Distribution
+from repro.core.config import EvaluationParams
+from repro.core.qos import QoSLevel
+from repro.core.schemes import Scheme
+from repro.desim.kernel import Simulator
+from repro.desim.network import MessageRecord, Network
+from repro.errors import ConfigurationError
+from repro.geometry.intervals import CoverageKind, FootprintCycle
+from repro.geometry.plane import PlaneGeometry
+from repro.protocol.accuracy_model import AccuracyModel
+from repro.protocol.ground import GroundStation
+from repro.protocol.messages import AlertMessage
+from repro.protocol.satellite import MessagingVariant, OAQSatellite
+from repro.protocol.signal import Signal
+
+__all__ = ["ScenarioOutcome", "CenterlineScenario"]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything a test or experiment needs from one protocol run."""
+
+    signal: Signal
+    achieved_level: QoSLevel
+    official_alert: Optional[AlertMessage]
+    all_alerts: List[AlertMessage]
+    duplicates: int
+    message_log: List[MessageRecord]
+    detection_time: Optional[float]
+
+    @property
+    def alert_latency(self) -> Optional[float]:
+        """Minutes from detection to the official alert's send time."""
+        return self.official_alert.latency if self.official_alert else None
+
+    @property
+    def chain_length(self) -> int:
+        """Satellites in the official alert's coordination chain."""
+        return len(self.official_alert.chain) if self.official_alert else 0
+
+
+class CenterlineScenario:
+    """One signal, one plane, full protocol execution.
+
+    Parameters
+    ----------
+    geometry:
+        Plane geometry (``k``, ``theta``, ``Tc``).
+    params:
+        Evaluation parameters (``tau``, ``delta``, ``Tg``, TC-1
+        threshold, ...).
+    onset_position:
+        Signal onset's cycle position ``x`` in ``[0, L1)``; sampled
+        uniformly when None (the Poisson-arrival assumption).
+    signal_duration:
+        Emission length in minutes; sampled from ``Exp(mu)`` when None.
+    scheme / variant:
+        OAQ or BAQ; done-propagation or successor-responsibility.
+    fail_silent:
+        Mapping satellite name -> failure time (minutes); the node goes
+        fail-silent then.
+    crosslink_loss_probability:
+        i.i.d. chance that any message (crosslink or downlink) is lost
+        in flight -- fault injection beyond the paper's fail-silent
+        model.
+    next_peer_override:
+        Replaces the default "next satellite in visit order" peer
+        selection -- e.g. a group-membership view that skips satellites
+        known to have failed (see
+        :mod:`repro.protocol.membership`).  Receives a satellite name,
+        returns the peer to invite (or None to stop the chain).
+    satellite_count:
+        Chain capacity; by default enough satellites to cover the
+        deadline window.
+    """
+
+    def __init__(
+        self,
+        geometry: PlaneGeometry,
+        params: EvaluationParams,
+        *,
+        scheme: Scheme = Scheme.OAQ,
+        variant: MessagingVariant = MessagingVariant.DONE_PROPAGATION,
+        onset_position: Optional[float] = None,
+        signal_duration: Optional[float] = None,
+        accuracy_model: Optional[AccuracyModel] = None,
+        computation_time: Optional[Distribution] = None,
+        fail_silent: Optional[Mapping[str, float]] = None,
+        crosslink_loss_probability: float = 0.0,
+        next_peer_override: Optional[Callable[[str], Optional[str]]] = None,
+        satellite_count: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        self.geometry = geometry
+        self.params = params
+        self.scheme = scheme
+        self.variant = variant
+        self.accuracy_model = accuracy_model
+        self.computation_time = computation_time
+        self.fail_silent = dict(fail_silent or {})
+        self.crosslink_loss_probability = crosslink_loss_probability
+        self.next_peer_override = next_peer_override
+        self.rng = np.random.default_rng(seed)
+        self.cycle = FootprintCycle(geometry)
+        if onset_position is None:
+            onset_position = float(self.rng.uniform(0.0, geometry.l1))
+        if not 0.0 <= onset_position < geometry.l1 + 1e-12:
+            raise ConfigurationError(
+                f"onset_position must be in [0, L1={geometry.l1}), got "
+                f"{onset_position}"
+            )
+        self.onset_position = min(onset_position, geometry.l1)
+        if signal_duration is None:
+            signal_duration = float(self.rng.exponential(1.0 / params.mu))
+        self.signal = Signal("signal-0", 0.0, signal_duration)
+        if satellite_count is None:
+            # Enough visits to span the deadline plus margin.
+            satellite_count = 3 + int(
+                math.ceil((params.tau + geometry.coverage_time) / geometry.l1)
+            )
+        self.satellite_count = satellite_count
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def coverage_interval(self, visit_index: int) -> Tuple[float, float]:
+        """Absolute time interval during which satellite ``visit_index``
+        (0-based) covers the target."""
+        offset = self.geometry.l2 if self.geometry.overlapping else 0.0
+        start = visit_index * self.geometry.l1 - self.onset_position - offset
+        return start, start + self.geometry.coverage_time
+
+    def covered_at_onset(self) -> bool:
+        """Whether the target is covered when the signal starts."""
+        return (
+            self.cycle.interval_at(self.onset_position).kind
+            is not CoverageKind.GAP
+        )
+
+    def onset_in_double_coverage(self) -> bool:
+        """Whether the signal starts inside an overlapped region."""
+        return (
+            self.cycle.interval_at(self.onset_position).kind
+            is CoverageKind.DOUBLE
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, *, horizon: Optional[float] = None) -> ScenarioOutcome:
+        """Build the simulation, run it to quiescence, adjudicate."""
+        params = self.params
+        simulator = Simulator()
+        network = Network(
+            simulator,
+            default_delay=params.delta,
+            loss_probability=self.crosslink_loss_probability,
+            rng=self.rng if self.crosslink_loss_probability > 0.0 else None,
+        )
+        ground = GroundStation(network)
+
+        names = [f"S{j + 1}" for j in range(self.satellite_count)]
+
+        def default_next_peer(name: str) -> Optional[str]:
+            index = names.index(name)
+            return names[index + 1] if index + 1 < len(names) else None
+
+        next_peer = self.next_peer_override or default_next_peer
+
+        satellites: Dict[str, OAQSatellite] = {}
+        for name in names:
+            satellites[name] = OAQSatellite(
+                name,
+                simulator,
+                network,
+                params,
+                self.geometry,
+                scheme=self.scheme,
+                variant=self.variant,
+                accuracy_model=self.accuracy_model,
+                computation_time=self.computation_time,
+                next_peer=next_peer,
+                ground_name=ground.name,
+                rng=self.rng,
+            )
+
+        for name, fail_time in self.fail_silent.items():
+            if name not in satellites:
+                raise ConfigurationError(f"unknown fail-silent node {name!r}")
+            simulator.at(max(0.0, fail_time), network.fail, name)
+
+        detection_time = self._schedule_physical_events(simulator, satellites, names)
+
+        if horizon is None:
+            horizon = params.tau + self.geometry.coverage_time + self.geometry.l1 + 5.0
+        simulator.run_until(horizon)
+
+        official = ground.official(self.signal.signal_id)
+        level = QoSLevel(
+            ground.achieved_level(self.signal.signal_id, params.tau)
+        )
+        return ScenarioOutcome(
+            signal=self.signal,
+            achieved_level=level,
+            official_alert=official,
+            all_alerts=ground.alerts(self.signal.signal_id),
+            duplicates=ground.duplicates(self.signal.signal_id),
+            message_log=list(network.log),
+            detection_time=detection_time,
+        )
+
+    def _schedule_physical_events(
+        self,
+        simulator: Simulator,
+        satellites: Dict[str, OAQSatellite],
+        names: Sequence[str],
+    ) -> Optional[float]:
+        """Schedule footprint arrivals and double-coverage onsets.
+
+        Returns the initial-detection time (None if the signal escapes
+        surveillance entirely -- possible only in the underlap case).
+        """
+        detection_time: Optional[float] = None
+        detector: Optional[str] = None
+        for j, name in enumerate(names):
+            start, end = self.coverage_interval(j)
+            if end <= 0.0:
+                continue  # this visit ended before the signal started
+            arrival = max(0.0, start)
+            simultaneous = False
+            is_detector = False
+            if detector is None and self.signal.active(arrival):
+                detection_time = arrival
+                detector = name
+                is_detector = True
+                simultaneous = (
+                    self.geometry.overlapping
+                    and self.onset_in_double_coverage()
+                    and arrival == 0.0
+                )
+            # Later visitors only act if a coordination request invited
+            # them; otherwise the arrival is a no-op.
+            simulator.at(
+                arrival,
+                self._arrival_with_flag,
+                satellites[name],
+                simultaneous,
+                is_detector,
+            )
+
+        if self.geometry.overlapping and detector is not None:
+            # Double-coverage onsets: start of each beta interval after
+            # the signal onset, delivered to the (possibly withholding)
+            # detector.
+            beta_offset = self.geometry.single_coverage_length - self.onset_position
+            first = beta_offset if beta_offset > 0 else beta_offset + self.geometry.l1
+            t = first
+            horizon = self.params.tau + self.geometry.l1
+            while t <= horizon:
+                simulator.at(
+                    t, satellites[detector].on_simultaneous_coverage, self.signal
+                )
+                t += self.geometry.l1
+        return detection_time
+
+    def _arrival_with_flag(
+        self, satellite: OAQSatellite, simultaneous: bool, allow_detection: bool
+    ) -> None:
+        satellite.on_footprint_arrival(
+            self.signal,
+            simultaneous=simultaneous,
+            allow_detection=allow_detection,
+        )

@@ -1,0 +1,80 @@
+"""Stochastic activity networks: modelling, solution and simulation.
+
+This package is the reproduction's substitute for **UltraSAN**, the
+tool the paper used to compute the steady-state orbital-plane capacity
+probabilities ``P(k)``:
+
+* :mod:`repro.san.model` -- SAN formalism (places, timed and
+  instantaneous activities, input/output gates, cases);
+* :mod:`repro.san.reachability` -- tangible reachability-graph
+  generation with vanishing-marking elimination;
+* :mod:`repro.san.ctmc` -- steady-state and transient CTMC solvers;
+* :mod:`repro.san.phase_type` -- Erlang unfolding of deterministic
+  activities (UltraSAN supported these natively);
+* :mod:`repro.san.simulator` -- discrete-event execution with exact
+  deterministic timers, for cross-checking and large models;
+* :mod:`repro.san.reward` -- UltraSAN-style rate rewards.
+"""
+
+from repro.san.compose import (
+    ReplicatedChain,
+    lumped_state_count,
+    replicate_lumped,
+)
+from repro.san.ctmc import CTMC, from_state_space, marking_probabilities
+from repro.san.marking import Marking, MarkingView, PlaceIndex
+from repro.san.model import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    Place,
+    SANModel,
+    TimedActivity,
+)
+from repro.san.phase_type import UnfoldedChain, unfold
+from repro.san.reachability import (
+    GeneralTransition,
+    MarkovianTransition,
+    StateSpace,
+    generate,
+)
+from repro.san.reward import (
+    expected_reward,
+    probability_of,
+    steady_state_marking_distribution,
+    unfolded_marking_distribution,
+)
+from repro.san.simulator import RewardEstimate, SANSimulator, SimulationResult
+
+__all__ = [
+    "CTMC",
+    "Case",
+    "GeneralTransition",
+    "InputGate",
+    "InstantaneousActivity",
+    "Marking",
+    "MarkingView",
+    "MarkovianTransition",
+    "OutputGate",
+    "Place",
+    "PlaceIndex",
+    "ReplicatedChain",
+    "RewardEstimate",
+    "SANModel",
+    "SANSimulator",
+    "SimulationResult",
+    "StateSpace",
+    "TimedActivity",
+    "UnfoldedChain",
+    "expected_reward",
+    "from_state_space",
+    "generate",
+    "lumped_state_count",
+    "marking_probabilities",
+    "probability_of",
+    "replicate_lumped",
+    "steady_state_marking_distribution",
+    "unfold",
+    "unfolded_marking_distribution",
+]

@@ -1,0 +1,234 @@
+"""Continuous-time Markov chain solvers.
+
+Provides steady-state and transient solutions for the CTMCs produced
+from SAN reachability graphs (directly for all-exponential models, or
+after phase-type unfolding for models with deterministic timers).
+
+Steady state solves the global balance equations ``pi Q = 0``,
+``sum(pi) = 1`` by replacing one balance equation with the
+normalisation constraint; a residual check rejects chains for which
+that system is (numerically) singular, e.g. chains with several
+recurrent classes.  Transient solutions use uniformisation
+(Jensen's method) with an adaptive Poisson truncation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from repro.errors import ModelError, SolverError
+from repro.san.reachability import StateSpace
+
+__all__ = ["CTMC", "from_state_space"]
+
+#: Above this size the solver switches from dense to sparse linear algebra.
+_DENSE_LIMIT = 1500
+
+
+class CTMC:
+    """A finite CTMC given by transitions ``(source, target, rate)``."""
+
+    def __init__(
+        self,
+        num_states: int,
+        transitions: Sequence[Tuple[int, int, float]],
+        *,
+        initial_distribution: Optional[Sequence[Tuple[float, int]]] = None,
+    ):
+        if num_states < 1:
+            raise ModelError(f"CTMC needs at least one state, got {num_states}")
+        self.num_states = num_states
+        rows, cols, rates = [], [], []
+        for source, target, rate in transitions:
+            if rate < 0:
+                raise ModelError(
+                    f"negative rate {rate} on transition {source}->{target}"
+                )
+            if not (0 <= source < num_states and 0 <= target < num_states):
+                raise ModelError(
+                    f"transition {source}->{target} outside state range"
+                )
+            if rate == 0.0 or source == target:
+                continue
+            rows.append(source)
+            cols.append(target)
+            rates.append(float(rate))
+        rate_matrix = sparse.coo_matrix(
+            (rates, (rows, cols)), shape=(num_states, num_states)
+        ).tocsr()
+        rate_matrix.sum_duplicates()
+        exit_rates = np.asarray(rate_matrix.sum(axis=1)).ravel()
+        self._rate_matrix = rate_matrix
+        self._exit_rates = exit_rates
+        if initial_distribution is None:
+            initial_distribution = [(1.0, 0)]
+        self.initial_distribution = list(initial_distribution)
+
+    # ------------------------------------------------------------------
+    # Matrices
+    # ------------------------------------------------------------------
+    @property
+    def generator(self) -> sparse.csr_matrix:
+        """The infinitesimal generator ``Q`` (sparse CSR)."""
+        diagonal = sparse.diags(-self._exit_rates)
+        return (self._rate_matrix + diagonal).tocsr()
+
+    @property
+    def exit_rates(self) -> np.ndarray:
+        """Total outgoing rate per state."""
+        return self._exit_rates.copy()
+
+    def initial_vector(self) -> np.ndarray:
+        """The initial probability vector as a dense array."""
+        p0 = np.zeros(self.num_states)
+        for prob, state in self.initial_distribution:
+            p0[state] += prob
+        total = p0.sum()
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ModelError(f"initial distribution sums to {total}")
+        return p0
+
+    # ------------------------------------------------------------------
+    # Steady state
+    # ------------------------------------------------------------------
+    def steady_state(self, *, residual_tolerance: float = 1e-8) -> np.ndarray:
+        """Stationary distribution ``pi`` with ``pi Q = 0``, ``sum = 1``.
+
+        Raises :class:`SolverError` if the balance system is singular or
+        the solution fails the residual / non-negativity checks (e.g.
+        the chain has several recurrent classes).
+        """
+        n = self.num_states
+        if n == 1:
+            return np.array([1.0])
+        q_transpose = self.generator.transpose().tocsr()
+        if n <= _DENSE_LIMIT:
+            matrix = q_transpose.toarray()
+            matrix[-1, :] = 1.0
+            rhs = np.zeros(n)
+            rhs[-1] = 1.0
+            try:
+                pi = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(f"steady-state system is singular: {exc}") from exc
+        else:
+            matrix = q_transpose.tolil()
+            matrix[-1, :] = np.ones(n)
+            rhs = np.zeros(n)
+            rhs[-1] = 1.0
+            try:
+                pi = sparse_linalg.spsolve(matrix.tocsc(), rhs)
+            except Exception as exc:  # scipy raises several types here
+                raise SolverError(f"sparse steady-state solve failed: {exc}") from exc
+        if np.any(~np.isfinite(pi)):
+            raise SolverError("steady-state solution contains non-finite entries")
+        residual = float(np.abs(q_transpose @ pi).max())
+        scale = max(1.0, float(self._exit_rates.max(initial=1.0)))
+        if residual > residual_tolerance * scale:
+            raise SolverError(
+                f"steady-state residual {residual:.3e} exceeds tolerance; "
+                "the chain may not have a unique stationary distribution"
+            )
+        if pi.min() < -1e-8:
+            raise SolverError(
+                f"steady-state solution has negative mass ({pi.min():.3e}); "
+                "the chain may be reducible"
+            )
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    # ------------------------------------------------------------------
+    # Transient analysis (uniformisation)
+    # ------------------------------------------------------------------
+    def transient(
+        self,
+        time: float,
+        *,
+        initial: Optional[np.ndarray] = None,
+        tolerance: float = 1e-10,
+    ) -> np.ndarray:
+        """State distribution at ``time`` by uniformisation."""
+        if time < 0:
+            raise ModelError(f"time must be >= 0, got {time}")
+        p = self.initial_vector() if initial is None else np.asarray(initial, float)
+        if time == 0.0:
+            return p.copy()
+        lam = float(self._exit_rates.max(initial=0.0))
+        if lam == 0.0:
+            return p.copy()
+        lam *= 1.02  # keep the DTMC strictly substochastic off the diagonal
+        dtmc = self._rate_matrix / lam + sparse.diags(1.0 - self._exit_rates / lam)
+        dtmc = dtmc.tocsr()
+
+        def step(vector: np.ndarray, dt: float) -> np.ndarray:
+            # Poisson-weighted sum, truncated when the tail < tolerance.
+            poisson_mean = lam * dt
+            term = vector
+            weight = math.exp(-poisson_mean)
+            result = weight * term
+            accumulated = weight
+            k = 0
+            max_terms = int(poisson_mean + 20.0 * math.sqrt(poisson_mean) + 200)
+            while 1.0 - accumulated > tolerance and k < max_terms:
+                k += 1
+                term = term @ dtmc
+                weight *= poisson_mean / k
+                result += weight * term
+                accumulated += weight
+            return np.asarray(result).ravel()
+
+        # Split long horizons so exp(-lam*dt) never underflows (the
+        # classic uniformisation instability for lam*t >> 1).
+        max_mean_per_step = 400.0
+        remaining = time
+        vector = p.copy()
+        while remaining > 0.0:
+            dt = min(remaining, max_mean_per_step / lam)
+            vector = step(vector, dt)
+            remaining -= dt
+        return vector
+
+    def expected_reward(
+        self, pi: np.ndarray, reward: Callable[[int], float]
+    ) -> float:
+        """``sum_s pi[s] * reward(s)`` for a state-indexed reward."""
+        return float(sum(pi[s] * reward(s) for s in range(self.num_states)))
+
+
+def from_state_space(
+    space: StateSpace, *, lump_by_marking: bool = False
+) -> CTMC:
+    """Build a CTMC from an all-exponential :class:`StateSpace`.
+
+    Raises :class:`ModelError` if the state space contains general
+    (non-exponential) transitions; unfold those first with
+    :func:`repro.san.phase_type.unfold`.
+    """
+    if not space.is_markovian:
+        names = sorted({t.activity for t in space.general})
+        raise ModelError(
+            "state space contains non-exponential activities "
+            f"{names}; apply phase-type unfolding first"
+        )
+    transitions = [(t.source, t.target, t.rate) for t in space.markovian]
+    return CTMC(
+        len(space),
+        transitions,
+        initial_distribution=[(p, s) for p, s in space.initial_distribution],
+    )
+
+
+def marking_probabilities(
+    space: StateSpace, pi: np.ndarray
+) -> Dict[Tuple[int, ...], float]:
+    """Aggregate a stationary vector over the space's markings."""
+    result: Dict[Tuple[int, ...], float] = {}
+    for state, probability in enumerate(pi):
+        marking = space.markings[state]
+        result[marking] = result.get(marking, 0.0) + float(probability)
+    return result

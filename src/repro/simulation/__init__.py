@@ -1,0 +1,23 @@
+"""Monte-Carlo and integration simulations that cross-validate the
+analytic models and exercise the full stack end to end."""
+
+from repro.simulation.plane_process import (
+    PlaneDegradationSimulation,
+    simulate_capacity_distribution,
+)
+from repro.simulation.qos_montecarlo import (
+    sample_qos_level,
+    simulate_conditional_distribution,
+    simulate_conditional_distribution_protocol,
+)
+from repro.simulation.scenarios import CoverageAccuracyScenario, LevelAccuracy
+
+__all__ = [
+    "CoverageAccuracyScenario",
+    "LevelAccuracy",
+    "PlaneDegradationSimulation",
+    "sample_qos_level",
+    "simulate_capacity_distribution",
+    "simulate_conditional_distribution",
+    "simulate_conditional_distribution_protocol",
+]

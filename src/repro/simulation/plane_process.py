@@ -1,0 +1,130 @@
+"""Independent discrete-event simulation of the plane-degradation
+process.
+
+This deliberately does **not** reuse :mod:`repro.san`: it is a second,
+hand-written implementation of the same stochastic process (failures,
+in-orbit spares, sustain-at-threshold replacements, scheduled restores)
+used to cross-validate the SAN solution of ``P(k)`` -- two independent
+codebases agreeing on the stationary distribution is strong evidence
+both encode the intended model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analytic.capacity import CapacityModelConfig
+from repro.desim.kernel import Simulator
+from repro.errors import ConfigurationError
+
+__all__ = ["PlaneDegradationSimulation", "simulate_capacity_distribution"]
+
+
+class PlaneDegradationSimulation:
+    """DES of one orbital plane's capacity over time (hours)."""
+
+    def __init__(self, config: CapacityModelConfig, *, seed: Optional[int] = None):
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.simulator = Simulator()
+        self.active = config.full_capacity
+        self.spares = config.in_orbit_spares
+        self.pending = 0
+        self._occupancy: Dict[int, float] = {}
+        self._last_change = 0.0
+        self._warmup = 0.0
+        self._failure_event = None
+        self._generation = 0  # invalidates stale replacement arrivals
+
+    # ------------------------------------------------------------------
+    def _record(self) -> None:
+        now = self.simulator.now
+        start = max(self._last_change, self._warmup)
+        if now > start:
+            self._occupancy[self.active] = (
+                self._occupancy.get(self.active, 0.0) + now - start
+            )
+        self._last_change = now
+
+    def _schedule_failure(self) -> None:
+        if self._failure_event is not None:
+            self._failure_event.cancel()
+            self._failure_event = None
+        if self.active <= 0:
+            return
+        rate = self.config.failure_rate_per_hour * self.active
+        delay = float(self.rng.exponential(1.0 / rate))
+        self._failure_event = self.simulator.schedule(delay, self._on_failure)
+
+    def _on_failure(self) -> None:
+        self._record()
+        self.active -= 1
+        if self.spares > 0:
+            # In-orbit spare takes over immediately.
+            self.spares -= 1
+            self.active += 1
+        else:
+            # Threshold policy: keep active + pending at the threshold.
+            while self.active + self.pending < self.config.threshold:
+                self.pending += 1
+                self.simulator.schedule(
+                    self.config.replacement_latency_hours,
+                    self._on_replacement,
+                    self._generation,
+                )
+        self._schedule_failure()
+
+    def _on_replacement(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a scheduled full restore
+        self._record()
+        self.pending -= 1
+        self.active += 1
+        self._schedule_failure()
+
+    def _on_scheduled(self) -> None:
+        self._record()
+        self.active = self.config.full_capacity
+        self.spares = self.config.in_orbit_spares
+        self.pending = 0
+        self._generation += 1  # cancel in-flight replacements
+        self._schedule_failure()
+        self.simulator.schedule(
+            self.config.scheduled_period_hours, self._on_scheduled
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, horizon_hours: float, *, warmup_hours: float = 0.0
+    ) -> Dict[int, float]:
+        """Simulate and return the time-weighted capacity distribution
+        over ``(warmup, horizon]``."""
+        if horizon_hours <= warmup_hours:
+            raise ConfigurationError(
+                f"horizon ({horizon_hours}) must exceed warmup ({warmup_hours})"
+            )
+        self._warmup = warmup_hours
+        self._schedule_failure()
+        self.simulator.schedule(
+            self.config.scheduled_period_hours, self._on_scheduled
+        )
+        self.simulator.run_until(horizon_hours)
+        self._record()
+        total = sum(self._occupancy.values())
+        return {k: v / total for k, v in sorted(self._occupancy.items())}
+
+
+def simulate_capacity_distribution(
+    config: CapacityModelConfig,
+    *,
+    horizon_hours: float = 3.0e6,
+    warmup_hours: float = 1.0e5,
+    seed: Optional[int] = None,
+) -> Dict[int, float]:
+    """Convenience wrapper: run one long replication and return the
+    empirical ``P(k)``."""
+    simulation = PlaneDegradationSimulation(config, seed=seed)
+    return simulation.run(horizon_hours, warmup_hours=warmup_hours)

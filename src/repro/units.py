@@ -1,0 +1,68 @@
+"""Unit conventions and conversion helpers.
+
+The paper mixes two time scales:
+
+* the *QoS model* (Section 4.2.1) quantifies time in **minutes**
+  (deadline ``tau = 5``, coverage time ``Tc = 9``, orbit period
+  ``theta = 90``), and
+* the *capacity model* (Section 4.3) quantifies time in **hours**
+  (node-failure rate ``lambda`` per hour, scheduled deployment period
+  ``phi = 30000`` hours).
+
+This module centralises the conventions so each subsystem can state its
+native unit once and convert explicitly at the boundary.  All angles are
+radians internally; degrees appear only in user-facing constructors.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Number of minutes in one hour.
+MINUTES_PER_HOUR = 60.0
+
+#: Number of seconds in one minute.
+SECONDS_PER_MINUTE = 60.0
+
+#: Number of seconds in one hour.
+SECONDS_PER_HOUR = 3600.0
+
+
+def minutes_to_hours(minutes: float) -> float:
+    """Convert a duration in minutes to hours."""
+    return minutes / MINUTES_PER_HOUR
+
+
+def hours_to_minutes(hours: float) -> float:
+    """Convert a duration in hours to minutes."""
+    return hours * MINUTES_PER_HOUR
+
+
+def minutes_to_seconds(minutes: float) -> float:
+    """Convert a duration in minutes to seconds."""
+    return minutes * SECONDS_PER_MINUTE
+
+
+def seconds_to_minutes(seconds: float) -> float:
+    """Convert a duration in seconds to minutes."""
+    return seconds / SECONDS_PER_MINUTE
+
+
+def per_hour_to_per_minute(rate: float) -> float:
+    """Convert an event rate expressed per hour to per minute."""
+    return rate / MINUTES_PER_HOUR
+
+
+def per_minute_to_per_hour(rate: float) -> float:
+    """Convert an event rate expressed per minute to per hour."""
+    return rate * MINUTES_PER_HOUR
+
+
+def deg_to_rad(degrees: float) -> float:
+    """Convert an angle in degrees to radians."""
+    return math.radians(degrees)
+
+
+def rad_to_deg(radians: float) -> float:
+    """Convert an angle in radians to degrees."""
+    return math.degrees(radians)

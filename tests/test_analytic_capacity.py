@@ -1,0 +1,152 @@
+"""Tests for repro.analytic.capacity (the Fig. 7 orbital-plane model)."""
+
+import pytest
+
+from repro.analytic.capacity import (
+    CapacityModelConfig,
+    build_capacity_san,
+    capacity_distribution,
+    capacity_distribution_exponential,
+)
+from repro.core.config import EvaluationParams
+from repro.errors import ConfigurationError
+from repro.san import generate
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = CapacityModelConfig()
+        assert config.full_capacity == 14
+        assert config.in_orbit_spares == 2
+        assert config.scheduled_period_hours == 30000.0
+
+    def test_from_params(self):
+        params = EvaluationParams(
+            node_failure_rate_per_hour=3e-5, deployment_threshold=12
+        )
+        config = CapacityModelConfig.from_params(params)
+        assert config.failure_rate_per_hour == 3e-5
+        assert config.threshold == 12
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CapacityModelConfig(threshold=0)
+        with pytest.raises(ConfigurationError):
+            CapacityModelConfig(threshold=15)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            CapacityModelConfig(failure_rate_per_hour=0.0)
+
+
+class TestModelStructure:
+    def test_state_space_is_small(self):
+        model = build_capacity_san(CapacityModelConfig())
+        space = generate(model)
+        # active 0..14 x spares/pending structure stays tiny.
+        assert 10 < len(space) < 60
+
+    def test_tangible_markings_respect_invariants(self):
+        """In-orbit spares only coexist with a full plane, and below the
+        threshold the pending launches top the capacity back up."""
+        config = CapacityModelConfig(threshold=10)
+        model = build_capacity_san(config)
+        space = generate(model)
+        for marking in space.markings:
+            view = model.marking_dict(marking)
+            if view["spares"] > 0:
+                assert view["active"] == config.full_capacity
+            if view["active"] < config.threshold:
+                assert view["active"] + view["pending"] == config.threshold
+
+    def test_deterministic_timers_present(self):
+        model = build_capacity_san(CapacityModelConfig())
+        space = generate(model)
+        names = {t.activity for t in space.general}
+        assert names == {"scheduled_deployment", "replacement_arrival"}
+
+    def test_exponential_variant_is_markovian(self):
+        model = build_capacity_san(
+            CapacityModelConfig(), exponential_timers=True
+        )
+        space = generate(model)
+        assert space.is_markovian
+
+
+class TestDistributionShape:
+    """The qualitative Fig. 7 claims, as assertions."""
+
+    def test_distribution_is_proper(self):
+        dist = capacity_distribution(
+            CapacityModelConfig(failure_rate_per_hour=5e-5), stages=16
+        )
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-8)
+        assert all(p >= -1e-12 for p in dist.values())
+
+    def test_full_capacity_dominates_at_low_lambda(self):
+        dist = capacity_distribution(
+            CapacityModelConfig(failure_rate_per_hour=1e-5), stages=16
+        )
+        assert dist[14] == max(dist.values())
+        assert dist[14] > 0.5
+
+    def test_threshold_dominates_at_high_lambda(self):
+        dist = capacity_distribution(
+            CapacityModelConfig(failure_rate_per_hour=1e-4, threshold=10),
+            stages=16,
+        )
+        assert dist[10] == max(dist.values())
+        assert dist[10] > 0.5
+
+    def test_below_threshold_unlikely(self):
+        """Eq. (3) neglects k < 9 as 'extremely unlikely'."""
+        dist = capacity_distribution(
+            CapacityModelConfig(failure_rate_per_hour=1e-4, threshold=10),
+            stages=16,
+        )
+        assert sum(p for k, p in dist.items() if k < 9) < 0.02
+
+    def test_p_eta_monotone_in_lambda(self):
+        values = []
+        for lam in (1e-5, 3e-5, 6e-5, 1e-4):
+            dist = capacity_distribution(
+                CapacityModelConfig(failure_rate_per_hour=lam, threshold=10),
+                stages=12,
+            )
+            values.append(dist[10])
+        assert values == sorted(values)
+
+    def test_threshold_location_follows_eta(self):
+        dist = capacity_distribution(
+            CapacityModelConfig(failure_rate_per_hour=1e-4, threshold=12),
+            stages=16,
+        )
+        assert dist[12] == max(dist.values())
+
+    def test_shorter_scheduled_period_lifts_full_capacity(self):
+        slow = capacity_distribution(
+            CapacityModelConfig(
+                failure_rate_per_hour=5e-5, scheduled_period_hours=30000.0
+            ),
+            stages=12,
+        )
+        fast = capacity_distribution(
+            CapacityModelConfig(
+                failure_rate_per_hour=5e-5, scheduled_period_hours=10000.0
+            ),
+            stages=12,
+        )
+        assert fast[14] > slow[14]
+
+    def test_exponential_timers_misplace_mass(self):
+        """Without deterministic-timer support the distribution shifts
+        visibly -- the reason the paper needed UltraSAN's deterministic
+        activities."""
+        config = CapacityModelConfig(failure_rate_per_hour=5e-5)
+        deterministic = capacity_distribution(config, stages=24)
+        exponential = capacity_distribution_exponential(config)
+        tv = 0.5 * sum(
+            abs(deterministic.get(k, 0.0) - exponential.get(k, 0.0))
+            for k in set(deterministic) | set(exponential)
+        )
+        assert tv > 0.02

@@ -1,0 +1,77 @@
+"""Tests for repro.analytic.multiplane (best-of-planes composition)."""
+
+import pytest
+
+from repro.analytic.multiplane import best_of_planes, multi_plane_distribution
+from repro.core.config import EvaluationParams
+from repro.core.qos import QoSDistribution, QoSLevel
+from repro.core.schemes import Scheme
+from repro.errors import ConfigurationError
+
+
+def dist(p3=0.0, p2=0.0, p1=0.0, p0=0.0):
+    return QoSDistribution(
+        {
+            QoSLevel.SIMULTANEOUS_DUAL: p3,
+            QoSLevel.SEQUENTIAL_DUAL: p2,
+            QoSLevel.SINGLE: p1,
+            QoSLevel.MISSED: p0,
+        }
+    )
+
+
+class TestBestOfPlanes:
+    def test_single_plane_is_identity(self):
+        d = dist(p3=0.3, p1=0.6, p0=0.1)
+        assert best_of_planes([d]).isclose(d)
+
+    def test_two_plane_hand_computation(self):
+        # P(Y=1)=0.5, P(Y=0)=0.5 each: max has P(0)=0.25, P(1)=0.75.
+        d = dist(p1=0.5, p0=0.5)
+        combined = best_of_planes([d, d])
+        assert combined[QoSLevel.MISSED] == pytest.approx(0.25)
+        assert combined[QoSLevel.SINGLE] == pytest.approx(0.75)
+
+    def test_mixed_planes(self):
+        a = dist(p3=1.0)
+        b = dist(p0=1.0)
+        combined = best_of_planes([a, b])
+        assert combined[QoSLevel.SIMULTANEOUS_DUAL] == pytest.approx(1.0)
+
+    def test_more_planes_stochastically_better(self):
+        d = dist(p3=0.2, p2=0.2, p1=0.5, p0=0.1)
+        one = best_of_planes([d])
+        three = best_of_planes([d] * 3)
+        for level in QoSLevel:
+            assert three.at_least(level) >= one.at_least(level) - 1e-12
+
+    def test_missing_requires_all_planes_missing(self):
+        d = dist(p1=0.9, p0=0.1)
+        combined = best_of_planes([d] * 4)
+        assert combined[QoSLevel.MISSED] == pytest.approx(0.1**4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_of_planes([])
+
+
+class TestMultiPlaneDistribution:
+    def test_improves_on_worst_case(self):
+        params = EvaluationParams(
+            signal_termination_rate=0.2, node_failure_rate_per_hour=1e-4
+        )
+        single = multi_plane_distribution(
+            params, Scheme.OAQ, covering_planes=1, capacity_stages=12
+        )
+        dual = multi_plane_distribution(
+            params, Scheme.OAQ, covering_planes=2, capacity_stages=12
+        )
+        assert dual.at_least(QoSLevel.SEQUENTIAL_DUAL) > single.at_least(
+            QoSLevel.SEQUENTIAL_DUAL
+        )
+
+    def test_rejects_zero_planes(self):
+        with pytest.raises(ConfigurationError):
+            multi_plane_distribution(
+                EvaluationParams(), Scheme.OAQ, covering_planes=0
+            )

@@ -1,0 +1,56 @@
+"""Tests for the transient capacity analysis extension
+(``capacity_transient``)."""
+
+import pytest
+
+from repro.analytic.capacity import (
+    CapacityModelConfig,
+    capacity_distribution,
+    capacity_transient,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CapacityModelConfig(failure_rate_per_hour=1e-4, threshold=10)
+
+
+@pytest.fixture(scope="module")
+def transient(config):
+    return capacity_transient(
+        config, [0.0, 1000.0, 5000.0, 15000.0], stages=12
+    )
+
+
+class TestTransient:
+    def test_starts_at_full_capacity(self, transient):
+        initial = transient[0.0]
+        assert initial.get(14, 0.0) == pytest.approx(1.0)
+        assert sum(p for k, p in initial.items() if k != 14) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_distributions_proper_at_all_times(self, transient):
+        for distribution in transient.values():
+            assert sum(distribution.values()) == pytest.approx(1.0, abs=1e-6)
+            assert all(p >= -1e-12 for p in distribution.values())
+
+    def test_full_capacity_mass_decays(self, transient):
+        p14 = [transient[t].get(14, 0.0) for t in (0.0, 1000.0, 5000.0, 15000.0)]
+        assert p14 == sorted(p14, reverse=True)
+        assert p14[-1] < 0.1
+
+    def test_threshold_mass_grows_before_restore(self, transient):
+        p10 = [transient[t].get(10, 0.0) for t in (0.0, 1000.0, 5000.0, 15000.0)]
+        assert p10 == sorted(p10)
+
+    def test_long_run_near_steady_state(self, config):
+        """Far into the horizon the (Erlang-smoothed) transient
+        approaches the stationary distribution."""
+        steady = capacity_distribution(config, stages=12)
+        late = capacity_transient(config, [400000.0], stages=12)[400000.0]
+        tv = 0.5 * sum(
+            abs(steady.get(k, 0.0) - late.get(k, 0.0))
+            for k in set(steady) | set(late)
+        )
+        assert tv < 0.05

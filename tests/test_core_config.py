@@ -1,0 +1,89 @@
+"""Tests for repro.core.config (constellation + evaluation parameters)."""
+
+import pytest
+
+from repro.core.config import (
+    REFERENCE_CONSTELLATION,
+    ConstellationConfig,
+    EvaluationParams,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstellationConfig:
+    def test_reference_totals(self):
+        """98 active satellites, 112 total (Section 2)."""
+        assert REFERENCE_CONSTELLATION.total_active == 98
+        assert REFERENCE_CONSTELLATION.total_satellites == 112
+
+    def test_reference_underlap_threshold(self):
+        assert REFERENCE_CONSTELLATION.underlap_threshold == 10
+
+    def test_plane_geometry_uses_config_constants(self):
+        geometry = REFERENCE_CONSTELLATION.plane_geometry(12)
+        assert geometry.orbit_period == 90.0
+        assert geometry.coverage_time == 9.0
+        assert geometry.active_satellites == 12
+
+    def test_rejects_invalid_plane_count(self):
+        with pytest.raises(ConfigurationError):
+            ConstellationConfig(planes=0)
+
+    def test_rejects_negative_spares(self):
+        with pytest.raises(ConfigurationError):
+            ConstellationConfig(in_orbit_spares_per_plane=-1)
+
+
+class TestEvaluationParams:
+    def test_paper_aliases(self):
+        params = EvaluationParams(
+            deadline_minutes=5.0,
+            signal_termination_rate=0.2,
+            computation_rate=30.0,
+            node_failure_rate_per_hour=1e-5,
+            deployment_threshold=10,
+            scheduled_deployment_hours=30000.0,
+        )
+        assert params.tau == 5.0
+        assert params.mu == 0.2
+        assert params.nu == 30.0
+        assert params.lam == 1e-5
+        assert params.eta == 10
+        assert params.phi == 30000.0
+
+    def test_mean_signal_duration(self):
+        assert EvaluationParams(signal_termination_rate=0.5).mean_signal_duration == 2.0
+
+    def test_capacity_range_matches_eq3(self):
+        params = EvaluationParams()
+        assert params.capacity_range() == (9, 10, 11, 12, 13, 14)
+
+    def test_with_replaces_fields(self):
+        params = EvaluationParams()
+        changed = params.with_(deadline_minutes=3.0)
+        assert changed.tau == 3.0
+        assert params.tau == 5.0
+
+    def test_rejects_nonpositive_mu(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationParams(signal_termination_rate=0.0)
+
+    def test_rejects_nonpositive_nu(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationParams(computation_rate=-1.0)
+
+    def test_rejects_threshold_above_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationParams(deployment_threshold=15)
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationParams(deadline_minutes=-0.1)
+
+    def test_rejects_nonpositive_replacement_latency(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationParams(replacement_latency_hours=0.0)
+
+    def test_rejects_nonpositive_lambda(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationParams(node_failure_rate_per_hour=0.0)

@@ -1,0 +1,82 @@
+"""Tests for repro.core.framework (the evaluation facade)."""
+
+import pytest
+
+from repro.core.config import EvaluationParams
+from repro.core.framework import OAQFramework
+from repro.core.qos import QoSLevel
+from repro.core.schemes import Scheme
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return OAQFramework(
+        EvaluationParams(
+            signal_termination_rate=0.2, node_failure_rate_per_hour=5e-5
+        ),
+        capacity_stages=16,
+    )
+
+
+class TestConstituents:
+    def test_conditional_anchor(self):
+        framework = OAQFramework(
+            EvaluationParams(signal_termination_rate=0.5), capacity_stages=8
+        )
+        dist = framework.conditional_qos(12, Scheme.OAQ)
+        assert dist[QoSLevel.SIMULTANEOUS_DUAL] == pytest.approx(0.4444, abs=5e-4)
+
+    def test_capacity_probabilities_truncated(self, framework):
+        probabilities = framework.capacity_probabilities()
+        assert min(probabilities) >= 9
+        assert sum(probabilities.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_capacity_probabilities_untruncated(self, framework):
+        full = framework.capacity_probabilities(truncate=False)
+        assert sum(full.values()) == pytest.approx(1.0, abs=1e-8)
+
+    def test_capacity_is_cached(self, framework):
+        first = framework.capacity_probabilities()
+        second = framework.capacity_probabilities()
+        assert first == second
+
+
+class TestComposedMeasures:
+    def test_oaq_dominates_baq(self, framework):
+        for level in QoSLevel:
+            comparison = framework.compare_schemes(level)
+            assert comparison[Scheme.OAQ] >= comparison[Scheme.BAQ] - 1e-12
+
+    def test_qos_gain_positive_at_level2(self, framework):
+        assert framework.qos_gain(QoSLevel.SEQUENTIAL_DUAL) > 0.1
+
+    def test_level0_measure_is_one(self, framework):
+        assert framework.qos_measure(Scheme.OAQ, QoSLevel.MISSED) == pytest.approx(1.0)
+
+    def test_sweep_over_lambda(self):
+        framework = OAQFramework(
+            EvaluationParams(signal_termination_rate=0.2), capacity_stages=8
+        )
+        results = framework.sweep(
+            "node_failure_rate_per_hour",
+            [1e-5, 1e-4],
+            Scheme.OAQ,
+            QoSLevel.SEQUENTIAL_DUAL,
+        )
+        assert len(results) == 2
+        # Higher failure rate, lower QoS.
+        assert results[0][1] > results[1][1]
+
+    def test_simulated_conditional_agrees(self, framework):
+        analytic = framework.conditional_qos(12, Scheme.OAQ)
+        simulated = framework.simulate_conditional_qos(
+            12, Scheme.OAQ, samples=30_000, seed=5
+        )
+        assert simulated[QoSLevel.SIMULTANEOUS_DUAL] == pytest.approx(
+            analytic[QoSLevel.SIMULTANEOUS_DUAL], abs=0.015
+        )
+
+    def test_rejects_bad_min_capacity(self):
+        with pytest.raises(ConfigurationError):
+            OAQFramework(EvaluationParams(), min_capacity=0)

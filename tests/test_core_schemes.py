@@ -1,0 +1,18 @@
+"""Tests for repro.core.schemes."""
+
+from repro.core.schemes import Scheme
+
+
+def test_oaq_waits_for_opportunity():
+    assert Scheme.OAQ.waits_for_opportunity
+    assert not Scheme.BAQ.waits_for_opportunity
+
+
+def test_only_oaq_supports_sequential_coverage():
+    assert Scheme.OAQ.supports_sequential_coverage
+    assert not Scheme.BAQ.supports_sequential_coverage
+
+
+def test_str_is_name():
+    assert str(Scheme.OAQ) == "OAQ"
+    assert str(Scheme.BAQ) == "BAQ"

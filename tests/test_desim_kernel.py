@@ -1,0 +1,110 @@
+"""Tests for repro.desim.kernel."""
+
+import pytest
+
+from repro.desim.kernel import Simulator
+from repro.errors import ConfigurationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(3.0, order.append, "c")
+        simulator.schedule(1.0, order.append, "a")
+        simulator.schedule(2.0, order.append, "b")
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        simulator = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            simulator.schedule(1.0, order.append, tag)
+        simulator.run()
+        assert order == ["first", "second", "third"]
+
+    def test_now_advances(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(2.5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [2.5]
+
+    def test_nested_scheduling(self):
+        simulator = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", simulator.now))
+            simulator.schedule(1.0, inner)
+
+        def inner():
+            log.append(("inner", simulator.now))
+
+        simulator.schedule(1.0, outer)
+        simulator.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_rejects_negative_delay(self):
+        simulator = Simulator()
+        with pytest.raises(ConfigurationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_rejects_scheduling_in_past(self):
+        simulator = Simulator()
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(ConfigurationError):
+            simulator.at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        simulator = Simulator()
+        fired = []
+        event = simulator.schedule(1.0, fired.append, 1)
+        event.cancel()
+        simulator.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        simulator = Simulator()
+        event = simulator.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        simulator.run()
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, fired.append, "early")
+        simulator.schedule(10.0, fired.append, "late")
+        simulator.run_until(5.0)
+        assert fired == ["early"]
+        assert simulator.now == 5.0
+
+    def test_backwards_rejected(self):
+        simulator = Simulator()
+        simulator.run_until(5.0)
+        with pytest.raises(ConfigurationError):
+            simulator.run_until(1.0)
+
+    def test_event_count(self):
+        simulator = Simulator()
+        for _ in range(4):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert simulator.events_processed == 4
+
+    def test_max_events_cap(self):
+        simulator = Simulator()
+
+        def reschedule():
+            simulator.schedule(1.0, reschedule)
+
+        simulator.schedule(1.0, reschedule)
+        simulator.run(max_events=10)
+        assert simulator.events_processed == 10

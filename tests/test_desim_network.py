@@ -1,0 +1,112 @@
+"""Tests for repro.desim.network (crosslinks with fail-silence)."""
+
+import pytest
+
+from repro.desim.kernel import Simulator
+from repro.desim.network import Network
+from repro.errors import ConfigurationError, ProtocolError
+
+
+@pytest.fixture
+def net():
+    simulator = Simulator()
+    network = Network(simulator, default_delay=0.5)
+    inboxes = {"a": [], "b": []}
+    network.register("a", lambda src, msg: inboxes["a"].append((src, msg)))
+    network.register("b", lambda src, msg: inboxes["b"].append((src, msg)))
+    return simulator, network, inboxes
+
+
+class TestDelivery:
+    def test_message_delivered_after_delay(self, net):
+        simulator, network, inboxes = net
+        network.send("a", "b", "hello")
+        assert inboxes["b"] == []
+        simulator.run()
+        assert inboxes["b"] == [("a", "hello")]
+        assert simulator.now == 0.5
+
+    def test_explicit_delay_overrides_default(self, net):
+        simulator, network, inboxes = net
+        network.send("a", "b", "x", delay=2.0)
+        simulator.run()
+        assert simulator.now == 2.0
+
+    def test_delay_fn_used(self):
+        simulator = Simulator()
+        network = Network(simulator, delay_fn=lambda s, d: 3.0)
+        got = []
+        network.register("n", lambda s, m: got.append(m))
+        network.send("n", "n", "self")
+        simulator.run()
+        assert simulator.now == 3.0
+
+    def test_log_records_delivery(self, net):
+        simulator, network, _ = net
+        network.send("a", "b", "x")
+        simulator.run()
+        record = network.log[0]
+        assert record.source == "a"
+        assert record.time_sent == 0.0
+        assert record.time_delivered == 0.5
+        assert not record.dropped
+
+    def test_unknown_destination_rejected(self, net):
+        _, network, _ = net
+        with pytest.raises(ProtocolError):
+            network.send("a", "ghost", "x")
+
+    def test_duplicate_registration_rejected(self, net):
+        _, network, _ = net
+        with pytest.raises(ConfigurationError):
+            network.register("a", lambda s, m: None)
+
+    def test_negative_delay_rejected(self, net):
+        _, network, _ = net
+        with pytest.raises(ConfigurationError):
+            network.send("a", "b", "x", delay=-1.0)
+
+
+class TestFailSilence:
+    def test_failed_receiver_drops_message(self, net):
+        simulator, network, inboxes = net
+        network.fail("b")
+        network.send("a", "b", "x")
+        simulator.run()
+        assert inboxes["b"] == []
+        assert network.dropped_count() == 1
+
+    def test_failed_sender_drops_message(self, net):
+        simulator, network, inboxes = net
+        network.fail("a")
+        network.send("a", "b", "x")
+        simulator.run()
+        assert inboxes["b"] == []
+
+    def test_failure_mid_flight_drops(self, net):
+        """A node that fails after the send but before delivery never
+        receives -- fail-silence is evaluated at delivery time."""
+        simulator, network, inboxes = net
+        network.send("a", "b", "x", delay=1.0)
+        simulator.schedule(0.5, network.fail, "b")
+        simulator.run()
+        assert inboxes["b"] == []
+
+    def test_restore_resumes_delivery(self, net):
+        simulator, network, inboxes = net
+        network.fail("b")
+        network.restore("b")
+        network.send("a", "b", "x")
+        simulator.run()
+        assert inboxes["b"] == [("a", "x")]
+
+    def test_is_failed(self, net):
+        _, network, _ = net
+        network.fail("a")
+        assert network.is_failed("a")
+        assert not network.is_failed("b")
+
+    def test_fail_unknown_node_rejected(self, net):
+        _, network, _ = net
+        with pytest.raises(ConfigurationError):
+            network.fail("ghost")

@@ -1,0 +1,73 @@
+"""Tests for repro.desim.process (generator processes)."""
+
+import pytest
+
+from repro.desim.kernel import Simulator
+from repro.desim.process import spawn
+from repro.errors import ConfigurationError
+
+
+def test_process_advances_time():
+    simulator = Simulator()
+    log = []
+
+    def body():
+        log.append(simulator.now)
+        yield 2.0
+        log.append(simulator.now)
+        yield 3.0
+        log.append(simulator.now)
+
+    process = spawn(simulator, body())
+    simulator.run()
+    assert log == [0.0, 2.0, 5.0]
+    assert process.finished
+
+
+def test_two_processes_interleave():
+    simulator = Simulator()
+    log = []
+
+    def ticker(name, step):
+        for _ in range(3):
+            yield step
+            log.append((name, simulator.now))
+
+    spawn(simulator, ticker("fast", 1.0))
+    spawn(simulator, ticker("slow", 2.5))
+    simulator.run()
+    assert log == [
+        ("fast", 1.0),
+        ("fast", 2.0),
+        ("slow", 2.5),
+        ("fast", 3.0),
+        ("slow", 5.0),
+        ("slow", 7.5),
+    ]
+
+
+def test_interrupt_stops_process():
+    simulator = Simulator()
+    log = []
+
+    def body():
+        while True:
+            yield 1.0
+            log.append(simulator.now)
+
+    process = spawn(simulator, body())
+    simulator.run_until(3.5)
+    process.interrupt()
+    simulator.run_until(10.0)
+    assert log == [1.0, 2.0, 3.0]
+    assert process.finished
+
+
+def test_invalid_yield_rejected():
+    simulator = Simulator()
+
+    def body():
+        yield -1.0
+
+    with pytest.raises(ConfigurationError):
+        spawn(simulator, body())

@@ -1,0 +1,75 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import line_chart
+
+
+class TestLineChart:
+    def test_renders_title_markers_and_legend(self):
+        chart = line_chart(
+            {"rising": [(0, 0.0), (1, 0.5), (2, 1.0)]},
+            title="demo",
+            width=20,
+            height=6,
+        )
+        assert chart.splitlines()[0] == "demo"
+        assert "o rising" in chart
+        assert "o" in chart
+
+    def test_extreme_points_land_on_edges(self):
+        chart = line_chart(
+            {"s": [(0, 0.0), (10, 1.0)]}, width=20, height=6
+        )
+        lines = chart.splitlines()
+        top = next(line for line in lines if line.startswith("1.00"))
+        bottom = next(line for line in lines if line.startswith("0.00"))
+        assert top.rstrip().endswith("o|")  # max at the right edge, top row
+        assert bottom.lstrip("0. ").startswith("|o")  # min at the left edge
+
+    def test_two_series_get_distinct_markers(self):
+        chart = line_chart(
+            {
+                "a": [(0, 0.0), (1, 0.2)],
+                "b": [(0, 1.0), (1, 0.9)],
+            },
+            width=20,
+            height=8,
+        )
+        assert "o a" in chart and "x b" in chart
+
+    def test_collision_marked_with_star(self):
+        chart = line_chart(
+            {"a": [(0, 0.5)], "b": [(0, 0.5)]},
+            width=12,
+            height=5,
+            y_range=(0.0, 1.0),
+        )
+        assert "*" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"flat": [(0, 0.3), (1, 0.3)]}, width=12, height=5)
+        assert "flat" in chart
+
+    def test_explicit_y_range(self):
+        chart = line_chart(
+            {"s": [(0, 0.4)]}, width=12, height=5, y_range=(0.0, 1.0)
+        )
+        assert chart.splitlines()[0].startswith("1.00")
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"s": [(0, 1)]}, width=2, height=2)
+
+    def test_rejects_bad_y_range(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"s": [(0, 1)]}, y_range=(1.0, 0.0))
+
+    def test_x_axis_labels_present(self):
+        chart = line_chart({"s": [(1e-5, 0.1), (1e-4, 0.9)]}, width=30, height=5)
+        assert "1e-05" in chart and "0.0001" in chart

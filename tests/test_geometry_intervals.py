@@ -1,0 +1,119 @@
+"""Tests for repro.geometry.intervals (the Figure 6 cycle structure)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry.intervals import CoverageKind, FootprintCycle
+from repro.geometry.plane import PlaneGeometry
+
+
+@pytest.fixture
+def overlap_cycle():
+    return FootprintCycle(PlaneGeometry.reference(12))  # L1=7.5, L2=1.5
+
+
+@pytest.fixture
+def underlap_cycle():
+    return FootprintCycle(PlaneGeometry.reference(9))  # L1=10, L2=1
+
+
+class TestStructure:
+    def test_overlap_cycle_has_alpha_then_beta(self, overlap_cycle):
+        kinds = [interval.kind for interval in overlap_cycle.intervals]
+        assert kinds == [CoverageKind.SINGLE, CoverageKind.DOUBLE]
+
+    def test_underlap_cycle_has_alpha_then_gap(self, underlap_cycle):
+        kinds = [interval.kind for interval in underlap_cycle.intervals]
+        assert kinds == [CoverageKind.SINGLE, CoverageKind.GAP]
+
+    def test_tangent_cycle_is_single_interval(self):
+        cycle = FootprintCycle(PlaneGeometry.reference(10))  # L2 = 0
+        assert len(cycle.intervals) == 1
+        assert cycle.intervals[0].kind is CoverageKind.SINGLE
+
+    def test_interval_lengths(self, overlap_cycle):
+        alpha, beta = overlap_cycle.intervals
+        assert alpha.length == pytest.approx(6.0)
+        assert beta.length == pytest.approx(1.5)
+        assert overlap_cycle.length == pytest.approx(7.5)
+
+    def test_multiplicity_values(self):
+        assert CoverageKind.SINGLE.multiplicity == 1
+        assert CoverageKind.DOUBLE.multiplicity == 2
+        assert CoverageKind.GAP.multiplicity == 0
+
+
+class TestQueries:
+    def test_coverage_multiplicity_by_position(self, overlap_cycle):
+        assert overlap_cycle.coverage_multiplicity(3.0) == 1
+        assert overlap_cycle.coverage_multiplicity(6.5) == 2
+
+    def test_positions_wrap_modulo_cycle(self, overlap_cycle):
+        assert overlap_cycle.coverage_multiplicity(3.0 + 7.5) == 1
+        assert overlap_cycle.coverage_multiplicity(6.5 - 7.5) == 2
+
+    def test_wait_until_double_coverage(self, overlap_cycle):
+        assert overlap_cycle.wait_until_double_coverage(2.0) == pytest.approx(4.0)
+        assert overlap_cycle.wait_until_double_coverage(6.5) == 0.0
+
+    def test_wait_until_double_rejected_for_underlap(self, underlap_cycle):
+        with pytest.raises(ConfigurationError):
+            underlap_cycle.wait_until_double_coverage(2.0)
+
+    def test_wait_until_covered(self, underlap_cycle):
+        assert underlap_cycle.wait_until_covered(2.0) == 0.0  # inside alpha
+        assert underlap_cycle.wait_until_covered(9.5) == pytest.approx(0.5)
+
+    def test_wait_until_covered_always_zero_for_overlap(self, overlap_cycle):
+        for position in (0.0, 3.0, 6.9):
+            assert overlap_cycle.wait_until_covered(position) == 0.0
+
+    def test_wait_until_next_satellite(self, underlap_cycle):
+        # Onset at the end of alpha waits exactly L2; at the start, L1.
+        assert underlap_cycle.wait_until_next_satellite(9.0 - 1e-9) == pytest.approx(
+            1.0, abs=1e-6
+        )
+        assert underlap_cycle.wait_until_next_satellite(0.0) == pytest.approx(10.0)
+
+
+class TestTimeCovered:
+    def test_overlap_always_covered(self, overlap_cycle):
+        assert overlap_cycle.time_covered_during(1.0, 30.0) == pytest.approx(30.0)
+
+    def test_underlap_full_cycles(self, underlap_cycle):
+        # Each 10-minute cycle contains 9 covered minutes.
+        assert underlap_cycle.time_covered_during(0.0, 20.0) == pytest.approx(18.0)
+
+    def test_underlap_partial_window_in_gap(self, underlap_cycle):
+        covered = underlap_cycle.time_covered_during(9.2, 0.5)
+        assert covered == pytest.approx(0.0, abs=1e-9)
+
+    def test_underlap_window_straddling_gap(self, underlap_cycle):
+        # From position 8 for 3 minutes: 1 covered (8..9), 1 gap, 1 covered.
+        assert underlap_cycle.time_covered_during(8.0, 3.0) == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self, underlap_cycle):
+        with pytest.raises(ConfigurationError):
+            underlap_cycle.time_covered_during(0.0, -1.0)
+
+
+@given(
+    k=st.integers(min_value=2, max_value=40),
+    position=st.floats(min_value=-100.0, max_value=100.0),
+)
+def test_property_reduce_lands_in_cycle(k, position):
+    cycle = FootprintCycle(PlaneGeometry.reference(k))
+    reduced = cycle.reduce(position)
+    assert 0.0 <= reduced <= cycle.length
+
+
+@given(
+    k=st.integers(min_value=2, max_value=40),
+    position=st.floats(min_value=0.0, max_value=500.0),
+    duration=st.floats(min_value=0.0, max_value=200.0),
+)
+def test_property_covered_time_bounded(k, position, duration):
+    cycle = FootprintCycle(PlaneGeometry.reference(k))
+    covered = cycle.time_covered_during(position, duration)
+    assert -1e-9 <= covered <= duration + 1e-9

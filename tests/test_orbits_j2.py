@@ -1,0 +1,95 @@
+"""Tests for repro.orbits.j2 (secular oblateness perturbations)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SolverError
+from repro.orbits.j2 import (
+    SUN_SYNCHRONOUS_RATE_RAD_S,
+    J2CircularOrbit,
+    raan_drift_rate,
+    sun_synchronous_inclination,
+)
+from repro.orbits.kepler import CircularOrbit
+
+
+class TestDriftRate:
+    def test_polar_orbit_does_not_precess(self):
+        assert raan_drift_rate(500.0, math.pi / 2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_prograde_regresses_westward(self):
+        assert raan_drift_rate(500.0, math.radians(45.0)) < 0.0
+
+    def test_retrograde_precesses_eastward(self):
+        assert raan_drift_rate(500.0, math.radians(135.0)) > 0.0
+
+    def test_iss_like_magnitude(self):
+        """ISS (~420 km, 51.6 deg): ~ -5 deg/day nodal regression."""
+        rate = raan_drift_rate(420.0, math.radians(51.6))
+        deg_per_day = math.degrees(rate) * 86400.0
+        assert deg_per_day == pytest.approx(-5.0, abs=0.3)
+
+    def test_rejects_bad_altitude(self):
+        with pytest.raises(ConfigurationError):
+            raan_drift_rate(0.0, 1.0)
+
+
+class TestSunSynchronous:
+    def test_800km_is_near_98_6_degrees(self):
+        """Textbook value: ~98.6 deg at 800 km."""
+        inclination = sun_synchronous_inclination(800.0)
+        assert math.degrees(inclination) == pytest.approx(98.6, abs=0.2)
+
+    def test_designed_orbit_reports_sun_synchronous(self):
+        inclination = sun_synchronous_inclination(700.0)
+        orbit = J2CircularOrbit(CircularOrbit(700.0, inclination))
+        assert orbit.is_sun_synchronous()
+        assert orbit.raan_rate() == pytest.approx(
+            SUN_SYNCHRONOUS_RATE_RAD_S, rel=1e-9
+        )
+
+    def test_polar_orbit_is_not_sun_synchronous(self):
+        orbit = J2CircularOrbit(CircularOrbit(700.0, math.pi / 2))
+        assert not orbit.is_sun_synchronous()
+
+    def test_infeasible_altitude_rejected(self):
+        with pytest.raises(SolverError):
+            sun_synchronous_inclination(60000.0)
+
+
+class TestPropagation:
+    def test_matches_unperturbed_at_epoch(self):
+        base = CircularOrbit(500.0, 1.0, raan=0.3, phase=0.7)
+        perturbed = J2CircularOrbit(base)
+        assert np.allclose(perturbed.position_eci(0.0), base.position_eci(0.0))
+
+    def test_radius_preserved(self):
+        perturbed = J2CircularOrbit(CircularOrbit(500.0, 1.0))
+        for t in (0.0, 5000.0, 90000.0):
+            radius = np.linalg.norm(perturbed.position_eci(t))
+            assert radius == pytest.approx(perturbed.base.radius_km(), rel=1e-12)
+
+    def test_node_drifts_over_a_day(self):
+        base = CircularOrbit(500.0, math.radians(45.0), raan=0.0)
+        perturbed = J2CircularOrbit(base)
+        drift = perturbed.raan_at(86400.0) - perturbed.raan_at(0.0)
+        assert drift == pytest.approx(perturbed.raan_rate() * 86400.0)
+        assert drift < -0.05  # several degrees per day, westward
+
+    def test_common_drift_preserves_plane_spacing(self):
+        """All planes of a Walker design share altitude and inclination,
+        so J2 shifts every RAAN equally and the constellation geometry
+        survives -- the design property the reference constellation
+        relies on."""
+        planes = [
+            J2CircularOrbit(CircularOrbit(500.0, math.radians(85.0), raan=r))
+            for r in (0.0, 1.0, 2.0)
+        ]
+        day = 86400.0
+        spacings = [
+            planes[i + 1].raan_at(day) - planes[i].raan_at(day)
+            for i in range(len(planes) - 1)
+        ]
+        assert all(s == pytest.approx(1.0, abs=1e-12) for s in spacings)

@@ -1,0 +1,142 @@
+"""Tests for repro.orbits.kepler (propagation)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.orbits.bodies import EARTH
+from repro.orbits.kepler import CircularOrbit, KeplerianOrbit, solve_kepler
+
+
+class TestCircularOrbit:
+    def test_ninety_minute_altitude(self):
+        orbit = CircularOrbit.from_period(90.0 * 60.0, math.radians(85.0))
+        assert orbit.altitude_km == pytest.approx(274.4, abs=1.0)
+        assert orbit.period_s() == pytest.approx(5400.0, rel=1e-9)
+
+    def test_radius_constant(self):
+        orbit = CircularOrbit(500.0, math.radians(60.0))
+        radii = [
+            np.linalg.norm(orbit.position_eci(t)) for t in (0.0, 700.0, 3000.0)
+        ]
+        assert all(r == pytest.approx(EARTH.radius_km + 500.0) for r in radii)
+
+    def test_speed_is_circular_velocity(self):
+        orbit = CircularOrbit(500.0, 1.0)
+        speed = np.linalg.norm(orbit.velocity_eci(123.0))
+        assert speed == pytest.approx(
+            EARTH.circular_speed_km_s(EARTH.radius_km + 500.0)
+        )
+
+    def test_velocity_perpendicular_to_position(self):
+        orbit = CircularOrbit(400.0, 0.5, raan=1.0, phase=2.0)
+        for t in (0.0, 1000.0):
+            dot = float(np.dot(orbit.position_eci(t), orbit.velocity_eci(t)))
+            assert dot == pytest.approx(0.0, abs=1e-6)
+
+    def test_periodicity(self):
+        orbit = CircularOrbit(600.0, 1.2, raan=0.3, phase=0.7)
+        period = orbit.period_s()
+        assert np.allclose(
+            orbit.position_eci(100.0), orbit.position_eci(100.0 + period), atol=1e-6
+        )
+
+    def test_inclination_bounds_latitude(self):
+        orbit = CircularOrbit(500.0, math.radians(30.0))
+        max_z = max(
+            abs(orbit.position_eci(t)[2]) for t in np.linspace(0, orbit.period_s(), 400)
+        )
+        expected = (EARTH.radius_km + 500.0) * math.sin(math.radians(30.0))
+        assert max_z == pytest.approx(expected, rel=1e-3)
+
+    def test_phase_separates_satellites(self):
+        a = CircularOrbit(500.0, 1.0, phase=0.0)
+        b = CircularOrbit(500.0, 1.0, phase=math.pi)
+        assert np.allclose(a.position_eci(0.0), -b.position_eci(0.0), atol=1e-9)
+
+    def test_rejects_nonpositive_altitude(self):
+        with pytest.raises(ConfigurationError):
+            CircularOrbit(0.0, 1.0)
+
+
+class TestKeplerSolver:
+    def test_circular_case(self):
+        assert solve_kepler(1.234, 0.0) == pytest.approx(1.234)
+
+    def test_residual_is_zero(self):
+        for m in (0.1, 2.0, 5.5):
+            for e in (0.1, 0.5, 0.9):
+                ecc_anom = solve_kepler(m, e)
+                reduced_m = math.fmod(m, 2 * math.pi)
+                assert ecc_anom - e * math.sin(ecc_anom) == pytest.approx(
+                    reduced_m, abs=1e-10
+                )
+
+    def test_rejects_hyperbolic(self):
+        with pytest.raises(ConfigurationError):
+            solve_kepler(1.0, 1.1)
+
+
+class TestKeplerianOrbit:
+    def test_circular_limit_matches_circular_orbit(self):
+        circular = CircularOrbit(500.0, 0.9, raan=0.4, phase=1.1)
+        general = KeplerianOrbit.from_circular(circular)
+        for t in (0.0, 500.0, 2000.0):
+            assert np.allclose(
+                circular.position_eci(t), general.position_eci(t), atol=1e-6
+            )
+            assert np.allclose(
+                circular.velocity_eci(t), general.velocity_eci(t), atol=1e-9
+            )
+
+    def test_vis_viva_energy_conserved(self):
+        orbit = KeplerianOrbit(
+            semi_major_axis_km=8000.0,
+            eccentricity=0.3,
+            inclination=0.7,
+            raan=0.2,
+            argument_of_perigee=1.0,
+        )
+        energies = []
+        for t in np.linspace(0.0, orbit.period_s(), 17):
+            r = np.linalg.norm(orbit.position_eci(float(t)))
+            v = np.linalg.norm(orbit.velocity_eci(float(t)))
+            energies.append(0.5 * v * v - EARTH.mu_km3_s2 / r)
+        expected = -EARTH.mu_km3_s2 / (2.0 * 8000.0)
+        assert np.allclose(energies, expected, rtol=1e-9)
+
+    def test_perigee_apogee_radii(self):
+        a, e = 9000.0, 0.2
+        orbit = KeplerianOrbit(a, e, 0.0)
+        # Mean anomaly 0 is perigee; pi is apogee.
+        perigee = np.linalg.norm(orbit.position_eci(0.0))
+        apogee = np.linalg.norm(orbit.position_eci(orbit.period_s() / 2.0))
+        assert perigee == pytest.approx(a * (1 - e), rel=1e-9)
+        assert apogee == pytest.approx(a * (1 + e), rel=1e-6)
+
+    def test_angular_momentum_conserved(self):
+        orbit = KeplerianOrbit(8000.0, 0.4, 0.9, raan=0.1, argument_of_perigee=0.3)
+        h_vectors = [
+            np.cross(orbit.position_eci(float(t)), orbit.velocity_eci(float(t)))
+            for t in np.linspace(0.0, orbit.period_s(), 9)
+        ]
+        assert all(np.allclose(h, h_vectors[0], rtol=1e-9) for h in h_vectors)
+
+    def test_rejects_bad_eccentricity(self):
+        with pytest.raises(ConfigurationError):
+            KeplerianOrbit(8000.0, 1.0, 0.0)
+
+
+@settings(max_examples=40)
+@given(
+    m=st.floats(min_value=-20.0, max_value=20.0),
+    e=st.floats(min_value=0.0, max_value=0.95),
+)
+def test_property_kepler_solution_valid(m, e):
+    ecc_anom = solve_kepler(m, e)
+    assert ecc_anom - e * math.sin(ecc_anom) == pytest.approx(
+        math.fmod(m, 2 * math.pi), abs=1e-9
+    )

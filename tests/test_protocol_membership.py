@@ -1,0 +1,134 @@
+"""Tests for repro.protocol.membership (the paper's Section 5
+future-work extension: group membership for a satellite plane)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol.membership import (
+    MembershipConfig,
+    MembershipGroup,
+)
+
+NAMES = [f"S{i}" for i in range(1, 9)]  # an 8-satellite plane
+
+
+@pytest.fixture
+def group():
+    return MembershipGroup(NAMES)
+
+
+class TestConfig:
+    def test_rejects_unsafe_timeout(self):
+        with pytest.raises(ConfigurationError):
+            MembershipConfig(
+                heartbeat_interval=1.0, suspicion_timeout=1.0, crosslink_delay=0.1
+            )
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigurationError):
+            MembershipConfig(heartbeat_interval=0.0)
+
+    def test_group_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            MembershipGroup(["solo"])
+
+    def test_group_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            MembershipGroup(["a", "a", "b"])
+
+
+class TestStableGroup:
+    def test_initial_views_agree(self, group):
+        group.run_for(10.0)
+        assert group.converged()
+        assert group.agreed_view() == tuple(sorted(NAMES))
+
+    def test_accuracy_no_false_suspicions(self, group):
+        """While heartbeats flow, nobody is ever removed."""
+        group.run_for(30.0)
+        for node in group.correct_nodes():
+            assert node.view == tuple(sorted(NAMES))
+            # Exactly the initial view was ever installed.
+            assert node.view_version == 0
+
+
+class TestFailureDetection:
+    def test_completeness_failed_node_removed(self, group):
+        group.run_for(5.0)
+        group.fail("S3")
+        # suspicion_timeout (1.6) + ring dissemination; generous margin.
+        group.run_for(10.0)
+        assert group.converged()
+        assert "S3" not in group.agreed_view()
+        assert len(group.agreed_view()) == len(NAMES) - 1
+
+    def test_two_concurrent_failures(self, group):
+        group.run_for(2.0)
+        group.fail("S2")
+        group.fail("S6")
+        group.run_for(15.0)
+        assert group.converged()
+        view = group.agreed_view()
+        assert "S2" not in view and "S6" not in view
+        assert len(view) == len(NAMES) - 2
+
+    def test_adjacent_failures(self, group):
+        """Adjacent ring nodes failing together still get detected (the
+        ring re-closes around them view by view)."""
+        group.run_for(2.0)
+        group.fail("S4")
+        group.fail("S5")
+        group.run_for(20.0)
+        assert group.converged()
+        view = group.agreed_view()
+        assert "S4" not in view and "S5" not in view
+
+    def test_view_version_monotone(self, group):
+        group.run_for(2.0)
+        group.fail("S3")
+        group.run_for(10.0)
+        for node in group.correct_nodes():
+            history = node.version_history
+            assert history == sorted(history)
+
+
+class TestRejoin:
+    def test_restored_node_readmitted(self, group):
+        group.run_for(2.0)
+        group.fail("S3")
+        group.run_for(10.0)
+        assert "S3" not in group.agreed_view()
+        group.restore("S3")
+        group.run_for(10.0)
+        assert group.converged()
+        assert "S3" in group.agreed_view()
+
+    def test_rejoin_without_peers_rejected(self):
+        group = MembershipGroup(["a", "b"])
+        group.run_for(1.0)
+        group.fail("b")
+        group.run_for(5.0)
+        # 'a' removed 'b'; now fail 'a' and try to rejoin 'b' whose view
+        # may still contain 'a' -- allowed.  But a node whose view holds
+        # only itself cannot rejoin.
+        node = group.nodes["a"]
+        node.view = (node.name,)
+        with pytest.raises(ProtocolError):
+            node.rejoin()
+
+
+class TestIntegrationWithOAQ:
+    def test_view_serves_next_peer_selection(self, group):
+        """The membership view directly answers the OAQ protocol's
+        'who visits next' question after failures."""
+        group.run_for(2.0)
+        group.fail("S3")
+        group.run_for(10.0)
+        view = group.agreed_view()
+
+        def next_peer(name: str):
+            ring = list(view)
+            return ring[(ring.index(name) + 1) % len(ring)]
+
+        # S2's successor skips the failed S3.
+        assert next_peer("S2") == "S4"

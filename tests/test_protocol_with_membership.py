@@ -1,0 +1,79 @@
+"""Integration: group membership improving the OAQ protocol's achieved
+QoS under satellite failures.
+
+The membership service (Section 5 extension) tells each satellite who
+is still alive, so the coordination chain skips failed peers instead of
+waiting out a timeout on them.  This test quantifies the benefit on the
+scenario where it matters: an underlapping plane with a generous
+deadline, where the second visitor is dead but the *third* could still
+serve the signal in time.
+"""
+
+import pytest
+
+from repro.core.config import EvaluationParams
+from repro.core.qos import QoSLevel
+from repro.protocol import CenterlineScenario
+
+
+@pytest.fixture
+def params():
+    # tau = 12 > L1 = 10: the third visitor (arriving ~11.5 min after
+    # detection) is still inside the window of opportunity.
+    return EvaluationParams(
+        deadline_minutes=12.0, signal_termination_rate=0.05
+    )
+
+
+@pytest.fixture
+def geometry(params):
+    return params.constellation.plane_geometry(9)
+
+
+SCENARIO = dict(onset_position=8.5, signal_duration=30.0, seed=7)
+
+
+def membership_next_peer(failed: set):
+    """Peer selection from a (converged) membership view: the next
+    *live* satellite in visit order."""
+
+    def next_peer(name: str):
+        index = int(name[1:])
+        for candidate_index in range(index + 1, index + 6):
+            candidate = f"S{candidate_index}"
+            if candidate not in failed:
+                return candidate
+        return None
+
+    return next_peer
+
+
+class TestMembershipInformedCoordination:
+    def test_baseline_without_failure_reaches_level2(self, geometry, params):
+        outcome = CenterlineScenario(geometry, params, **SCENARIO).run(
+            horizon=40.0
+        )
+        assert outcome.achieved_level is QoSLevel.SEQUENTIAL_DUAL
+
+    def test_naive_peer_selection_loses_the_opportunity(self, geometry, params):
+        """Without membership knowledge, S1 invites the dead S2 and the
+        timeout delivers only a single-coverage result."""
+        outcome = CenterlineScenario(
+            geometry, params, fail_silent={"S2": 0.0}, **SCENARIO
+        ).run(horizon=40.0)
+        assert outcome.achieved_level is QoSLevel.SINGLE
+
+    def test_membership_view_recovers_level2(self, geometry, params):
+        """With the failed satellite excluded from the view, S1 invites
+        S3 directly; S3's pass is still inside the deadline, so the
+        sequential dual coverage survives the failure."""
+        outcome = CenterlineScenario(
+            geometry,
+            params,
+            fail_silent={"S2": 0.0},
+            next_peer_override=membership_next_peer({"S2"}),
+            **SCENARIO,
+        ).run(horizon=40.0)
+        assert outcome.achieved_level is QoSLevel.SEQUENTIAL_DUAL
+        assert outcome.official_alert.chain == ("S1", "S3")
+        assert outcome.alert_latency <= params.tau + 1e-9

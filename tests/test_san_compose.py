@@ -1,0 +1,100 @@
+"""Tests for repro.san.compose (replicate-and-lump composition)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StateSpaceExplosionError
+from repro.san.compose import (
+    ReplicatedChain,
+    lumped_state_count,
+    replicate_lumped,
+)
+from repro.san.ctmc import CTMC
+
+
+def on_off_chain(fail=0.5, repair=2.0):
+    """Base: state 0 = up, state 1 = down."""
+    return CTMC(2, [(0, 1, fail), (1, 0, repair)])
+
+
+class TestStateCount:
+    def test_formula(self):
+        assert lumped_state_count(2, 7) == 8
+        assert lumped_state_count(3, 2) == 6
+        assert lumped_state_count(5, 1) == 5
+
+    def test_replication_matches_formula(self):
+        replicated = replicate_lumped(on_off_chain(), 7)
+        assert len(replicated.states) == lumped_state_count(2, 7)
+
+    def test_explosion_guard(self):
+        base = CTMC(30, [(i, (i + 1) % 30, 1.0) for i in range(30)])
+        with pytest.raises(StateSpaceExplosionError):
+            replicate_lumped(base, 10, max_states=1000)
+
+
+class TestBinomialLaw:
+    def test_counts_are_binomial(self):
+        """n i.i.d. on/off components: the number 'up' at steady state
+        is Binomial(n, repair/(fail+repair))."""
+        fail, repair, n = 0.5, 2.0, 6
+        replicated = replicate_lumped(on_off_chain(fail, repair), n)
+        pi = replicated.ctmc.steady_state()
+        p_up = repair / (fail + repair)
+        distribution = replicated.count_distribution(pi, base_state=0)
+        for count in range(n + 1):
+            expected = math.comb(n, count) * p_up**count * (1 - p_up) ** (n - count)
+            assert distribution.get(count, 0.0) == pytest.approx(expected, abs=1e-9)
+
+    def test_expected_count_is_n_times_marginal(self):
+        base = CTMC(3, [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+        pi_base = base.steady_state()
+        replicated = replicate_lumped(base, 4)
+        pi = replicated.ctmc.steady_state()
+        for state in range(3):
+            assert replicated.expected_count(pi, state) == pytest.approx(
+                4.0 * pi_base[state], abs=1e-9
+            )
+
+    def test_probability_at_least(self):
+        replicated = replicate_lumped(on_off_chain(1.0, 1.0), 2)
+        pi = replicated.ctmc.steady_state()
+        # p_up = 0.5 each: P(>=1 up) = 3/4.
+        assert replicated.probability_at_least(pi, 0, 1) == pytest.approx(0.75)
+
+
+class TestValidation:
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ConfigurationError):
+            replicate_lumped(on_off_chain(), 0)
+
+    def test_rejects_distributed_initial_state(self):
+        base = CTMC(
+            2,
+            [(0, 1, 1.0), (1, 0, 1.0)],
+            initial_distribution=[(0.5, 0), (0.5, 1)],
+        )
+        with pytest.raises(ConfigurationError):
+            replicate_lumped(base, 2)
+
+    def test_single_copy_is_base(self):
+        base = on_off_chain()
+        replicated = replicate_lumped(base, 1)
+        pi_base = base.steady_state()
+        pi = replicated.ctmc.steady_state()
+        assert replicated.expected_count(pi, 0) == pytest.approx(pi_base[0])
+
+
+class TestTransientConsistency:
+    def test_transient_counts_match_independent_components(self):
+        """At any time t, the expected number 'up' equals n times the
+        base chain's transient up-probability (exchangeability)."""
+        fail, repair, n, t = 0.7, 1.3, 5, 0.9
+        base = on_off_chain(fail, repair)
+        replicated = replicate_lumped(base, n)
+        p_base = base.transient(t)
+        p_lumped = replicated.ctmc.transient(t)
+        expected = replicated.expected_count(p_lumped, 0)
+        assert expected == pytest.approx(n * p_base[0], abs=1e-6)

@@ -1,0 +1,114 @@
+"""Tests for repro.san.ctmc against closed-form Markov-chain results."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SolverError
+from repro.san import Case, InputGate, Place, SANModel, TimedActivity, generate
+from repro.san.ctmc import CTMC, from_state_space, marking_probabilities
+
+
+def mm1k_space(arrival, service, capacity):
+    arrive = TimedActivity.exponential(
+        "arrive",
+        arrival,
+        input_gates=[
+            InputGate("not_full", predicate=lambda m: m["queue"] < capacity)
+        ],
+        cases=[Case(output_arcs={"queue": 1})],
+    )
+    serve = TimedActivity.exponential("serve", service, input_arcs={"queue": 1})
+    return generate(SANModel([Place("queue", 0)], [arrive, serve]))
+
+
+class TestSteadyState:
+    def test_two_state_chain(self):
+        # 0 -(a)-> 1, 1 -(b)-> 0: pi = (b, a) / (a + b).
+        chain = CTMC(2, [(0, 1, 2.0), (1, 0, 3.0)])
+        pi = chain.steady_state()
+        assert pi[0] == pytest.approx(0.6)
+        assert pi[1] == pytest.approx(0.4)
+
+    def test_mm1k_matches_geometric_formula(self):
+        lam, mu, k = 1.0, 2.0, 5
+        space = mm1k_space(lam, mu, k)
+        pi = from_state_space(space).steady_state()
+        rho = lam / mu
+        normaliser = sum(rho**n for n in range(k + 1))
+        by_marking = marking_probabilities(space, pi)
+        for n in range(k + 1):
+            assert by_marking[(n,)] == pytest.approx(rho**n / normaliser)
+
+    def test_birth_death_detailed_balance(self):
+        space = mm1k_space(0.7, 1.3, 8)
+        pi = from_state_space(space).steady_state()
+        by_marking = marking_probabilities(space, pi)
+        for n in range(8):
+            assert 0.7 * by_marking[(n,)] == pytest.approx(
+                1.3 * by_marking[(n + 1,)], rel=1e-8
+            )
+
+    def test_absorbing_chain_rejected(self):
+        chain = CTMC(3, [(0, 1, 1.0), (0, 2, 1.0)])  # 1 and 2 absorbing
+        with pytest.raises(SolverError):
+            chain.steady_state()
+
+    def test_single_state(self):
+        assert CTMC(1, []).steady_state() == pytest.approx([1.0])
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ModelError):
+            CTMC(2, [(0, 1, -1.0)])
+
+    def test_rejects_out_of_range_state(self):
+        with pytest.raises(ModelError):
+            CTMC(2, [(0, 5, 1.0)])
+
+
+class TestTransient:
+    def test_two_state_analytic(self):
+        """P(in state 1 at t) = (a/(a+b)) (1 - e^{-(a+b)t}) from state 0."""
+        a, b, t = 2.0, 3.0, 0.7
+        chain = CTMC(2, [(0, 1, a), (1, 0, b)])
+        p = chain.transient(t)
+        expected = (a / (a + b)) * (1.0 - math.exp(-(a + b) * t))
+        assert p[1] == pytest.approx(expected, abs=1e-8)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_time_zero_is_initial(self):
+        chain = CTMC(2, [(0, 1, 1.0)], initial_distribution=[(1.0, 0)])
+        assert chain.transient(0.0)[0] == 1.0
+
+    def test_long_horizon_approaches_steady_state(self):
+        chain = CTMC(2, [(0, 1, 2.0), (1, 0, 3.0)])
+        p = chain.transient(100.0)
+        pi = chain.steady_state()
+        assert np.allclose(p, pi, atol=1e-6)
+
+    def test_pure_death_chain(self):
+        """Poisson decay: P(still in 0 at t) = e^{-t}."""
+        chain = CTMC(2, [(0, 1, 1.0)])
+        p = chain.transient(2.0)
+        assert p[0] == pytest.approx(math.exp(-2.0), abs=1e-8)
+
+    def test_rejects_negative_time(self):
+        chain = CTMC(1, [])
+        with pytest.raises(ModelError):
+            chain.transient(-1.0)
+
+
+class TestConversion:
+    def test_general_transitions_rejected(self):
+        from repro.analytic.distributions import Deterministic
+
+        timer = TimedActivity("t", Deterministic(1.0), input_arcs={"p": 1})
+        space = generate(SANModel([Place("p", 1)], [timer]))
+        with pytest.raises(ModelError):
+            from_state_space(space)
+
+    def test_expected_reward(self):
+        chain = CTMC(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        pi = chain.steady_state()
+        assert chain.expected_reward(pi, lambda s: float(s)) == pytest.approx(0.5)

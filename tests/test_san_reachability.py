@@ -1,0 +1,170 @@
+"""Tests for repro.san.reachability (tangible state-space generation)."""
+
+import pytest
+
+from repro.analytic.distributions import Deterministic
+from repro.errors import ModelError, StateSpaceExplosionError
+from repro.san import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    Place,
+    SANModel,
+    TimedActivity,
+    generate,
+)
+
+
+def mm1k_model(arrival=1.0, service=2.0, capacity=3):
+    """M/M/1/K queue as a SAN."""
+    arrive = TimedActivity.exponential(
+        "arrive",
+        arrival,
+        input_gates=[
+            InputGate("not_full", predicate=lambda m: m["queue"] < capacity)
+        ],
+        cases=[Case(output_arcs={"queue": 1})],
+    )
+    serve = TimedActivity.exponential("serve", service, input_arcs={"queue": 1})
+    return SANModel([Place("queue", 0)], [arrive, serve], name="mm1k")
+
+
+class TestBasicGeneration:
+    def test_mm1k_state_count(self):
+        space = generate(mm1k_model(capacity=3))
+        assert len(space) == 4  # queue = 0..3
+        assert space.is_markovian
+
+    def test_transition_rates(self):
+        space = generate(mm1k_model(arrival=1.0, service=2.0, capacity=2))
+        rates = {
+            (space.markings[t.source], space.markings[t.target]): t.rate
+            for t in space.markovian
+        }
+        assert rates[((0,), (1,))] == pytest.approx(1.0)
+        assert rates[((1,), (0,))] == pytest.approx(2.0)
+
+    def test_initial_distribution(self):
+        space = generate(mm1k_model())
+        assert space.initial_distribution == [(1.0, 0)]
+
+    def test_explosion_guard(self):
+        grow = TimedActivity.exponential(
+            "grow",
+            1.0,
+            input_gates=[InputGate("always", predicate=lambda m: True)],
+            cases=[Case(output_arcs={"p": 1})],
+        )
+        model = SANModel([Place("p", 0)], [grow])
+        with pytest.raises(StateSpaceExplosionError):
+            generate(model, max_states=50)
+
+    def test_absorbing_marking_allowed(self):
+        drain = TimedActivity.exponential("drain", 1.0, input_arcs={"p": 1})
+        model = SANModel([Place("p", 2)], [drain])
+        space = generate(model)
+        assert len(space) == 3  # 2, 1, 0 (absorbing)
+
+
+class TestVanishingElimination:
+    def test_instantaneous_chain_collapses(self):
+        """A timed firing followed by two instantaneous moves produces a
+        single tangible successor."""
+        step = TimedActivity.exponential(
+            "step", 1.0, input_arcs={"a": 1}, cases=[Case(output_arcs={"b": 1})]
+        )
+        move1 = InstantaneousActivity(
+            "m1", input_arcs={"b": 1}, cases=[Case(output_arcs={"c": 1})]
+        )
+        move2 = InstantaneousActivity(
+            "m2", input_arcs={"c": 1}, cases=[Case(output_arcs={"d": 1})]
+        )
+        model = SANModel(
+            [Place("a", 1), Place("b", 0), Place("c", 0), Place("d", 0)],
+            [step],
+            [move1, move2],
+        )
+        space = generate(model)
+        markings = {model.marking_dict(m)["d"] for m in space.markings}
+        # Only (a=1) and (d=1) are tangible; b/c never hold tokens.
+        assert len(space) == 2
+        assert markings == {0, 1}
+
+    def test_probabilistic_cases_split_rates(self):
+        split = TimedActivity.exponential(
+            "split",
+            3.0,
+            input_arcs={"a": 1},
+            cases=[
+                Case(probability=0.25, output_arcs={"left": 1}),
+                Case(probability=0.75, output_arcs={"right": 1}),
+            ],
+        )
+        model = SANModel(
+            [Place("a", 1), Place("left", 0), Place("right", 0)], [split]
+        )
+        space = generate(model)
+        rates = sorted(t.rate for t in space.markovian)
+        assert rates == [pytest.approx(0.75), pytest.approx(2.25)]
+
+    def test_priority_orders_instantaneous(self):
+        """Higher-priority instantaneous activities fire first."""
+        low = InstantaneousActivity(
+            "low", priority=0, input_arcs={"x": 1}, cases=[Case(output_arcs={"lo": 1})]
+        )
+        high = InstantaneousActivity(
+            "high", priority=5, input_arcs={"x": 1}, cases=[Case(output_arcs={"hi": 1})]
+        )
+        feed = TimedActivity.exponential(
+            "feed",
+            1.0,
+            input_gates=[InputGate("go", predicate=lambda m: m["x"] == 0 and m["hi"] == 0 and m["lo"] == 0)],
+            cases=[Case(output_arcs={"x": 1})],
+        )
+        model = SANModel(
+            [Place("x", 0), Place("hi", 0), Place("lo", 0)], [feed], [low, high]
+        )
+        space = generate(model)
+        reached = {tuple(m) for m in space.markings}
+        assert (0, 1, 0) in reached  # high fired
+        assert (0, 0, 1) not in reached  # low never got the token
+
+    def test_equal_priority_conflict_rejected(self):
+        a = InstantaneousActivity("a", input_arcs={"x": 1})
+        b = InstantaneousActivity("b", input_arcs={"x": 1})
+        model = SANModel([Place("x", 1)], [], [a, b])
+        with pytest.raises(ModelError):
+            generate(model)
+
+    def test_instantaneous_cycle_detected(self):
+        ping = InstantaneousActivity(
+            "ping", input_arcs={"a": 1}, cases=[Case(output_arcs={"b": 1})]
+        )
+        pong = InstantaneousActivity(
+            "pong", input_arcs={"b": 1}, cases=[Case(output_arcs={"a": 1})]
+        )
+        model = SANModel([Place("a", 1), Place("b", 0)], [], [ping, pong])
+        with pytest.raises(ModelError):
+            generate(model)
+
+
+class TestGeneralTransitions:
+    def test_deterministic_activity_recorded_as_general(self):
+        timer = TimedActivity(
+            "timer", Deterministic(5.0), input_arcs={"p": 1}
+        )
+        model = SANModel([Place("p", 1)], [timer])
+        space = generate(model)
+        assert not space.is_markovian
+        assert len(space.general) == 1
+        assert space.general[0].activity == "timer"
+        targets = space.general[0].targets
+        assert len(targets) == 1
+        assert targets[0][0] == pytest.approx(1.0)
+
+    def test_general_by_source_grouping(self):
+        timer = TimedActivity("t", Deterministic(1.0), input_arcs={"p": 1})
+        model = SANModel([Place("p", 2)], [timer])
+        space = generate(model)
+        grouped = space.general_by_source()
+        assert set(grouped) == {space.index[(2,)], space.index[(1,)]}

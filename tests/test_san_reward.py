@@ -1,0 +1,51 @@
+"""Tests for repro.san.reward."""
+
+import pytest
+
+from repro.san import (
+    Case,
+    InputGate,
+    Place,
+    SANModel,
+    TimedActivity,
+    from_state_space,
+    generate,
+)
+from repro.san.reward import (
+    expected_reward,
+    probability_of,
+    steady_state_marking_distribution,
+)
+
+
+@pytest.fixture
+def solved_queue():
+    arrive = TimedActivity.exponential(
+        "arrive",
+        1.0,
+        input_gates=[InputGate("room", predicate=lambda m: m["q"] < 2)],
+        cases=[Case(output_arcs={"q": 1})],
+    )
+    serve = TimedActivity.exponential("serve", 2.0, input_arcs={"q": 1})
+    model = SANModel([Place("q", 0)], [arrive, serve])
+    space = generate(model)
+    pi = from_state_space(space).steady_state()
+    return space, steady_state_marking_distribution(space, pi)
+
+
+def test_marking_distribution_sums_to_one(solved_queue):
+    _, probs = solved_queue
+    assert sum(probs.values()) == pytest.approx(1.0)
+
+
+def test_expected_reward_mean_queue(solved_queue):
+    space, probs = solved_queue
+    # M/M/1/2 with rho = 0.5: pi = (4/7, 2/7, 1/7); E[q] = 4/7.
+    mean = expected_reward(space, probs, lambda m: float(m["q"]))
+    assert mean == pytest.approx(4.0 / 7.0)
+
+
+def test_probability_of_predicate(solved_queue):
+    space, probs = solved_queue
+    busy = probability_of(space, probs, lambda m: m["q"] > 0)
+    assert busy == pytest.approx(3.0 / 7.0)

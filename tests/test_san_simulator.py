@@ -1,0 +1,139 @@
+"""Tests for repro.san.simulator (discrete-event SAN execution)."""
+
+import pytest
+
+from repro.analytic.distributions import Deterministic
+from repro.errors import ConfigurationError, ModelError
+from repro.san import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    Place,
+    SANModel,
+    SANSimulator,
+    TimedActivity,
+)
+
+
+def on_off_model(up_rate=0.5, repair_time=2.0):
+    fail = TimedActivity.exponential("fail", up_rate, input_arcs={"up": 1})
+    repair = TimedActivity(
+        "repair",
+        Deterministic(repair_time),
+        input_gates=[InputGate("down", predicate=lambda m: m["up"] == 0)],
+        cases=[Case(output_arcs={"up": 1})],
+    )
+    return SANModel([Place("up", 1)], [fail, repair], name="on-off")
+
+
+class TestSteadyStateEstimation:
+    def test_on_off_availability(self):
+        """Alternating renewal availability, deterministic repair
+        handled exactly."""
+        simulator = SANSimulator(on_off_model(0.5, 2.0), seed=123)
+        result = simulator.run(
+            60000.0, warmup=1000.0, rewards={"up": lambda m: float(m["up"])}
+        )
+        expected = 2.0 / (2.0 + 2.0)  # 1/lambda = 2, repair 2
+        assert result.rewards["up"].mean == pytest.approx(expected, abs=0.02)
+
+    def test_occupancy_fractions_sum_to_one(self):
+        simulator = SANSimulator(on_off_model(), seed=5)
+        result = simulator.run(5000.0, warmup=100.0)
+        assert sum(result.marking_occupancy.values()) == pytest.approx(1.0)
+
+    def test_mm1_queue_utilisation(self):
+        lam, mu = 0.5, 1.0
+        arrive = TimedActivity.exponential(
+            "arrive",
+            lam,
+            input_gates=[InputGate("room", predicate=lambda m: m["q"] < 200)],
+            cases=[Case(output_arcs={"q": 1})],
+        )
+        serve = TimedActivity.exponential("serve", mu, input_arcs={"q": 1})
+        model = SANModel([Place("q", 0)], [arrive, serve])
+        simulator = SANSimulator(model, seed=42)
+        result = simulator.run(
+            80000.0,
+            warmup=2000.0,
+            rewards={"busy": lambda m: 1.0 if m["q"] > 0 else 0.0},
+        )
+        assert result.rewards["busy"].mean == pytest.approx(lam / mu, abs=0.02)
+
+    def test_confidence_interval_brackets_truth(self):
+        simulator = SANSimulator(on_off_model(0.5, 2.0), seed=9)
+        result = simulator.run(
+            50000.0,
+            warmup=1000.0,
+            rewards={"up": lambda m: float(m["up"])},
+            batches=10,
+        )
+        estimate = result.rewards["up"]
+        low, high = estimate.confidence_interval
+        assert low <= 0.5 <= high
+        assert estimate.batches == 10
+
+    def test_deterministic_timer_exact(self):
+        """With no competing activities the repair completes exactly
+        after its deterministic delay (event count check)."""
+        model = on_off_model(up_rate=1e9, repair_time=3.0)
+        # The up state collapses instantly; cycle length ~ 3.0.
+        simulator = SANSimulator(model, seed=3)
+        result = simulator.run(300.0, warmup=0.0)
+        assert result.events == pytest.approx(200, abs=6)  # 2 events / 3 time
+
+
+class TestMechanics:
+    def test_instantaneous_stabilisation(self):
+        feed = TimedActivity.exponential(
+            "feed",
+            1.0,
+            input_gates=[InputGate("empty", predicate=lambda m: m["x"] == 0)],
+            cases=[Case(output_arcs={"x": 1})],
+        )
+        move = InstantaneousActivity(
+            "move", input_arcs={"x": 1}, cases=[Case(output_arcs={"y": 1})]
+        )
+        model = SANModel([Place("x", 0), Place("y", 0)], [feed], [move])
+        simulator = SANSimulator(model, seed=1)
+        result = simulator.run(50.0)
+        # Tokens never rest in x.
+        for marking in result.marking_occupancy:
+            assert marking[0] == 0
+
+    def test_probabilistic_case_selection(self):
+        split = TimedActivity.exponential(
+            "split",
+            1.0,
+            input_gates=[InputGate("always", predicate=lambda m: True)],
+            cases=[
+                Case(probability=0.3, output_arcs={"a": 1}),
+                Case(probability=0.7, output_arcs={"b": 1}),
+            ],
+        )
+        model = SANModel([Place("a", 0), Place("b", 0)], [split])
+        simulator = SANSimulator(model, seed=77)
+        result = simulator.run(4000.0)
+        final = max(result.marking_occupancy)  # last marking has most tokens
+        total = final[0] + final[1]
+        assert final[1] / total == pytest.approx(0.7, abs=0.05)
+
+    def test_absorbing_model_stops(self):
+        drain = TimedActivity.exponential("drain", 1.0, input_arcs={"p": 1})
+        model = SANModel([Place("p", 3)], [drain])
+        simulator = SANSimulator(model, seed=2)
+        result = simulator.run(1000.0)
+        assert result.events == 3
+
+    def test_rejects_bad_horizon(self):
+        simulator = SANSimulator(on_off_model(), seed=0)
+        with pytest.raises(ConfigurationError):
+            simulator.run(10.0, warmup=20.0)
+
+    def test_equal_priority_conflict_raises(self):
+        a = InstantaneousActivity("a", input_arcs={"x": 1})
+        b = InstantaneousActivity("b", input_arcs={"x": 1})
+        model = SANModel([Place("x", 1)], [], [a, b])
+        simulator = SANSimulator(model, seed=0)
+        with pytest.raises(ModelError):
+            simulator.run(1.0)

@@ -1,0 +1,66 @@
+"""Tests for repro.simulation.plane_process -- the independent DES of
+the capacity process, cross-checked against the SAN solution."""
+
+import pytest
+
+from repro.analytic.capacity import CapacityModelConfig, capacity_distribution
+from repro.errors import ConfigurationError
+from repro.simulation.plane_process import (
+    PlaneDegradationSimulation,
+    simulate_capacity_distribution,
+)
+
+
+class TestBasicBehaviour:
+    def test_distribution_sums_to_one(self):
+        config = CapacityModelConfig(failure_rate_per_hour=5e-5)
+        distribution = simulate_capacity_distribution(
+            config, horizon_hours=3e5, seed=1
+        )
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_capacity_never_exceeds_full(self):
+        config = CapacityModelConfig(failure_rate_per_hour=1e-4)
+        distribution = simulate_capacity_distribution(
+            config, horizon_hours=3e5, seed=2
+        )
+        assert max(distribution) <= config.full_capacity
+
+    def test_threshold_sustains_capacity(self):
+        """Below-threshold excursions exist but are brief."""
+        config = CapacityModelConfig(failure_rate_per_hour=1e-4, threshold=10)
+        distribution = simulate_capacity_distribution(
+            config, horizon_hours=1e6, seed=3
+        )
+        below = sum(p for k, p in distribution.items() if k < 9)
+        assert below < 0.02
+
+    def test_rejects_bad_horizon(self):
+        config = CapacityModelConfig()
+        simulation = PlaneDegradationSimulation(config, seed=0)
+        with pytest.raises(ConfigurationError):
+            simulation.run(10.0, warmup_hours=20.0)
+
+
+class TestAgreementWithSAN:
+    @pytest.mark.parametrize("lam", [2e-5, 1e-4])
+    def test_des_matches_phase_type_solution(self, lam):
+        """Two independent implementations of the same process agree on
+        P(k) within the Erlang-approximation error plus simulation
+        noise (the deterministic scheduled clock is the slowest part of
+        the phase-type expansion to converge)."""
+        config = CapacityModelConfig(failure_rate_per_hour=lam, threshold=10)
+        analytic = capacity_distribution(config, stages=32)
+        accumulated = {}
+        seeds = (42, 43)
+        for seed in seeds:
+            simulated = simulate_capacity_distribution(
+                config, horizon_hours=2.5e6, warmup_hours=1e5, seed=seed
+            )
+            for k, p in simulated.items():
+                accumulated[k] = accumulated.get(k, 0.0) + p / len(seeds)
+        tv = 0.5 * sum(
+            abs(analytic.get(k, 0.0) - accumulated.get(k, 0.0))
+            for k in set(analytic) | set(accumulated)
+        )
+        assert tv < 0.04

@@ -1,0 +1,120 @@
+"""Tests for repro.simulation.qos_montecarlo -- the rule-based sampler
+must agree with the closed-form model."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.qos_model import conditional_distribution
+from repro.core.config import EvaluationParams
+from repro.core.qos import QoSLevel
+from repro.core.schemes import Scheme
+from repro.errors import ConfigurationError
+from repro.simulation.qos_montecarlo import (
+    sample_qos_level,
+    simulate_conditional_distribution,
+)
+
+
+@pytest.fixture
+def params():
+    return EvaluationParams(signal_termination_rate=0.2)
+
+
+class TestSampler:
+    def test_levels_respect_table1_overlap(self, params):
+        geometry = params.constellation.plane_geometry(12)
+        rng = np.random.default_rng(0)
+        levels = {
+            sample_qos_level(geometry, params, Scheme.OAQ, rng)
+            for _ in range(3000)
+        }
+        assert levels <= {QoSLevel.SIMULTANEOUS_DUAL, QoSLevel.SINGLE}
+        assert QoSLevel.SIMULTANEOUS_DUAL in levels
+
+    def test_levels_respect_table1_underlap(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        rng = np.random.default_rng(1)
+        levels = {
+            sample_qos_level(geometry, params, Scheme.OAQ, rng)
+            for _ in range(5000)
+        }
+        assert levels == {
+            QoSLevel.SEQUENTIAL_DUAL,
+            QoSLevel.SINGLE,
+            QoSLevel.MISSED,
+        }
+
+    def test_baq_never_samples_level2(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        rng = np.random.default_rng(2)
+        for _ in range(3000):
+            level = sample_qos_level(geometry, params, Scheme.BAQ, rng)
+            assert level is not QoSLevel.SEQUENTIAL_DUAL
+
+
+class TestAgreementWithClosedForm:
+    @pytest.mark.parametrize("k", [9, 10, 12, 14])
+    @pytest.mark.parametrize("scheme", [Scheme.OAQ, Scheme.BAQ])
+    def test_distribution_matches_analytic(self, params, k, scheme):
+        geometry = params.constellation.plane_geometry(k)
+        analytic = conditional_distribution(geometry, params, scheme)
+        simulated = simulate_conditional_distribution(
+            geometry, params, scheme, samples=40_000, seed=123
+        )
+        for level in QoSLevel:
+            assert simulated[level] == pytest.approx(analytic[level], abs=0.012)
+
+    def test_mu_05_anchor(self):
+        """The simulated P(Y=3|12) hits the paper's 0.44 anchor."""
+        params = EvaluationParams(signal_termination_rate=0.5)
+        geometry = params.constellation.plane_geometry(12)
+        simulated = simulate_conditional_distribution(
+            geometry, params, Scheme.OAQ, samples=60_000, seed=7
+        )
+        assert simulated[QoSLevel.SIMULTANEOUS_DUAL] == pytest.approx(0.444, abs=0.01)
+
+    def test_seed_reproducibility(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        a = simulate_conditional_distribution(
+            geometry, params, Scheme.OAQ, samples=2000, seed=99
+        )
+        b = simulate_conditional_distribution(
+            geometry, params, Scheme.OAQ, samples=2000, seed=99
+        )
+        assert a == b
+
+    def test_rejects_zero_samples(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        with pytest.raises(ConfigurationError):
+            simulate_conditional_distribution(
+                geometry, params, Scheme.OAQ, samples=0
+            )
+
+
+class TestVectorisedSampler:
+    @pytest.mark.parametrize("k", [9, 10, 12, 14])
+    @pytest.mark.parametrize("scheme", [Scheme.OAQ, Scheme.BAQ])
+    def test_vectorized_agrees_with_scalar_rules(self, params, k, scheme):
+        """The numpy path and the scalar specification are two
+        implementations of the same rules."""
+        geometry = params.constellation.plane_geometry(k)
+        fast = simulate_conditional_distribution(
+            geometry, params, scheme, samples=40_000, seed=5, vectorized=True
+        )
+        slow = simulate_conditional_distribution(
+            geometry, params, scheme, samples=40_000, seed=5, vectorized=False
+        )
+        for level in QoSLevel:
+            assert fast[level] == pytest.approx(slow[level], abs=0.012)
+
+    def test_vectorized_matches_closed_form(self, params):
+        from repro.analytic.qos_model import conditional_distribution
+
+        geometry = params.constellation.plane_geometry(12)
+        analytic = conditional_distribution(geometry, params, Scheme.OAQ)
+        fast = simulate_conditional_distribution(
+            geometry, params, Scheme.OAQ, samples=200_000, seed=6
+        )
+        assert fast[QoSLevel.SIMULTANEOUS_DUAL] == pytest.approx(
+            analytic[QoSLevel.SIMULTANEOUS_DUAL], abs=0.005
+        )

@@ -1,0 +1,60 @@
+"""Tests for repro.simulation.scenarios (end-to-end accuracy by QoS
+level with the real estimation stack)."""
+
+import pytest
+
+from repro.core.qos import QoSLevel
+from repro.errors import ConfigurationError
+from repro.simulation.scenarios import CoverageAccuracyScenario
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenario = CoverageAccuracyScenario(
+        active_satellites=12, measurements_per_pass=6
+    )
+    return scenario.run_all_levels(trials=8, seed=2024)
+
+
+class TestAccuracyOrdering:
+    def test_each_level_has_results(self, results):
+        for level in (
+            QoSLevel.SINGLE,
+            QoSLevel.SEQUENTIAL_DUAL,
+            QoSLevel.SIMULTANEOUS_DUAL,
+        ):
+            assert results[level].trials > 0
+            assert results[level].median_error_km > 0.0
+
+    def test_sequential_beats_single(self, results):
+        assert (
+            results[QoSLevel.SEQUENTIAL_DUAL].median_error_km
+            < results[QoSLevel.SINGLE].median_error_km
+        )
+
+    def test_simultaneous_beats_single(self, results):
+        assert (
+            results[QoSLevel.SIMULTANEOUS_DUAL].median_error_km
+            < results[QoSLevel.SINGLE].median_error_km
+        )
+
+    def test_estimated_errors_ordered_too(self, results):
+        assert (
+            results[QoSLevel.SEQUENTIAL_DUAL].mean_estimated_error_km
+            < results[QoSLevel.SINGLE].mean_estimated_error_km
+        )
+
+
+class TestValidation:
+    def test_level_zero_rejected(self):
+        scenario = CoverageAccuracyScenario()
+        with pytest.raises(ConfigurationError):
+            scenario.run_level(QoSLevel.MISSED)
+
+    def test_too_few_measurements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageAccuracyScenario(measurements_per_pass=2)
+
+    def test_too_few_satellites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageAccuracyScenario(active_satellites=1)

@@ -1,0 +1,31 @@
+"""Tests for repro.units (unit conventions)."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions_roundtrip():
+    assert units.minutes_to_hours(90.0) == 1.5
+    assert units.hours_to_minutes(1.5) == 90.0
+    assert units.hours_to_minutes(units.minutes_to_hours(7.3)) == pytest.approx(7.3)
+    assert units.minutes_to_seconds(2.0) == 120.0
+    assert units.seconds_to_minutes(120.0) == 2.0
+
+
+def test_rate_conversions_are_inverse_of_time():
+    # lambda = 1e-4 per hour: per minute it must be smaller.
+    per_minute = units.per_hour_to_per_minute(1e-4)
+    assert per_minute == pytest.approx(1e-4 / 60.0)
+    assert units.per_minute_to_per_hour(per_minute) == pytest.approx(1e-4)
+
+
+def test_angle_conversions():
+    assert units.deg_to_rad(180.0) == pytest.approx(math.pi)
+    assert units.rad_to_deg(math.pi / 2) == pytest.approx(90.0)
+
+
+def test_constants_consistent():
+    assert units.MINUTES_PER_HOUR * units.SECONDS_PER_MINUTE == units.SECONDS_PER_HOUR
