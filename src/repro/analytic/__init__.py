@@ -5,11 +5,16 @@ Eq. (3) composition."""
 from repro.analytic.capacity import (
     CapacityModelConfig,
     build_capacity_san,
+    capacity_cache_stats,
+    capacity_caches_disabled,
     capacity_distribution,
     capacity_distribution_exponential,
     capacity_distribution_simulated,
     capacity_transient,
+    clear_capacity_caches,
+    configure_capacity_caches,
 )
+from repro.analytic.solve_cache import CacheStats, LRUSolveCache
 from repro.analytic.composition import compose, composed_distribution
 from repro.analytic.multiplane import best_of_planes, multi_plane_distribution
 from repro.analytic.distributions import (
@@ -32,19 +37,25 @@ from repro.analytic.qos_model import (
 )
 
 __all__ = [
+    "CacheStats",
     "CapacityModelConfig",
     "Deterministic",
     "Distribution",
     "Erlang",
     "Exponential",
     "HyperExponential",
+    "LRUSolveCache",
     "Uniform",
     "Weibull",
     "build_capacity_san",
+    "capacity_cache_stats",
+    "capacity_caches_disabled",
     "capacity_distribution",
     "capacity_distribution_exponential",
     "capacity_distribution_simulated",
     "capacity_transient",
+    "clear_capacity_caches",
+    "configure_capacity_caches",
     "best_of_planes",
     "compose",
     "composed_distribution",

@@ -41,14 +41,26 @@ Solution paths:
 * :func:`capacity_distribution_exponential` -- all-exponential variant
   (timers replaced by exponentials of equal mean), the crudest
   approximation, used in the ablation benchmark.
+
+The numerical paths are **memoized**: ``P(k)`` depends only on the
+frozen :class:`CapacityModelConfig` and the stage count, so sweeps over
+``tau`` / ``mu`` (and repeated figure regenerations) reuse one solve
+per distinct key.  Both the final distributions and the intermediate
+reachability/unfold structures are cached in module-level
+:class:`~repro.analytic.solve_cache.LRUSolveCache` instances;
+:func:`capacity_cache_stats` exposes hit/miss counters for tests and
+benchmarks, :func:`capacity_caches_disabled` restores the seed's
+solve-per-call behaviour for baseline measurements.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from repro.analytic.distributions import Deterministic, Exponential
+from repro.analytic.solve_cache import CacheStats, LRUSolveCache
 from repro.core.config import EvaluationParams
 from repro.errors import ConfigurationError
 from repro.san import (
@@ -73,6 +85,12 @@ __all__ = [
     "capacity_distribution_simulated",
     "capacity_distribution_exponential",
     "capacity_transient",
+    "capacity_cache_stats",
+    "capacity_cache_snapshot",
+    "capacity_caches_disabled",
+    "clear_capacity_caches",
+    "configure_capacity_caches",
+    "seed_capacity_cache",
 ]
 
 
@@ -256,6 +274,92 @@ def build_capacity_san(
     )
 
 
+# ----------------------------------------------------------------------
+# Memoization layer
+# ----------------------------------------------------------------------
+# Final P(k) dictionaries are tiny; the unfolded chains are not, so the
+# structural cache is kept small.  Distribution keys are
+# (config, stages, variant); unfold keys are (config, stages).
+_DISTRIBUTION_CACHE = LRUSolveCache(maxsize=256, name="capacity-distribution")
+_UNFOLD_CACHE = LRUSolveCache(maxsize=8, name="capacity-unfold")
+_CACHING_ENABLED = True
+
+
+def capacity_cache_stats() -> Dict[str, CacheStats]:
+    """Hit/miss/eviction counters of both capacity caches.
+
+    ``distribution`` misses count actual steady-state solves, the
+    quantity the experiment engine's tests pin down ("a 9-point tau
+    sweep performs exactly one capacity solve").
+    """
+    return {
+        "distribution": _DISTRIBUTION_CACHE.stats(),
+        "unfold": _UNFOLD_CACHE.stats(),
+    }
+
+
+def clear_capacity_caches(*, reset_stats: bool = False) -> None:
+    """Drop all cached solves (counters survive unless asked not to)."""
+    _DISTRIBUTION_CACHE.clear(reset_stats=reset_stats)
+    _UNFOLD_CACHE.clear(reset_stats=reset_stats)
+
+
+def configure_capacity_caches(
+    *,
+    distribution_maxsize: Optional[int] = None,
+    unfold_maxsize: Optional[int] = None,
+) -> None:
+    """Resize the caches (evicting LRU entries when shrinking)."""
+    if distribution_maxsize is not None:
+        _DISTRIBUTION_CACHE.resize(distribution_maxsize)
+    if unfold_maxsize is not None:
+        _UNFOLD_CACHE.resize(unfold_maxsize)
+
+
+def capacity_cache_snapshot():
+    """The distribution cache's ``(key, P(k))`` entries -- what the
+    parallel sweep runner ships to worker processes so a shared solve
+    is not repeated per worker."""
+    return _DISTRIBUTION_CACHE.snapshot()
+
+
+def seed_capacity_cache(entries) -> None:
+    """Install precomputed distribution entries (worker-side)."""
+    _DISTRIBUTION_CACHE.seed(entries)
+
+
+@contextmanager
+def capacity_caches_disabled() -> Iterator[None]:
+    """Temporarily restore solve-per-call behaviour (benchmark
+    baselines).  Not safe under concurrent use from other threads."""
+    global _CACHING_ENABLED
+    previous = _CACHING_ENABLED
+    _CACHING_ENABLED = False
+    try:
+        yield
+    finally:
+        _CACHING_ENABLED = previous
+
+
+def _memoized(cache: LRUSolveCache, key, factory):
+    if not _CACHING_ENABLED:
+        return factory()
+    return cache.get_or_compute(key, factory)
+
+
+def _unfolded_chain(config: CapacityModelConfig, stages: int):
+    """Cached (model, space, chain) triple for the deterministic-timer
+    SAN -- shared by the steady-state and transient solution paths."""
+
+    def build():
+        model = build_capacity_san(config)
+        space = generate(model)
+        chain = unfold(space, stages=stages)
+        return model, space, chain
+
+    return _memoized(_UNFOLD_CACHE, (config, stages), build)
+
+
 def _marking_capacity_distribution(marking_probs, model: SANModel) -> Dict[int, float]:
     position = model.place_index.position("active")
     result: Dict[int, float] = {}
@@ -274,28 +378,43 @@ def capacity_distribution(
     deterministic timers; 24 keeps the error well under simulation
     noise for the paper's parameter ranges (see the ablation
     benchmark).
+
+    Memoized on ``(config, stages)``: repeated calls return the cached
+    distribution without re-running the SAN pipeline.
     """
-    model = build_capacity_san(config)
-    space = generate(model)
-    chain = unfold(space, stages=stages)
-    by_marking_index = chain.steady_state_markings()
-    marking_probs = {
-        space.markings[idx]: prob for idx, prob in by_marking_index.items()
-    }
-    return _marking_capacity_distribution(marking_probs, model)
+
+    def solve() -> Dict[int, float]:
+        model, space, chain = _unfolded_chain(config, stages)
+        by_marking_index = chain.steady_state_markings()
+        marking_probs = {
+            space.markings[idx]: prob
+            for idx, prob in by_marking_index.items()
+        }
+        return _marking_capacity_distribution(marking_probs, model)
+
+    result = _memoized(_DISTRIBUTION_CACHE, (config, stages, "erlang"), solve)
+    return dict(result)
 
 
 def capacity_distribution_exponential(
     config: CapacityModelConfig,
 ) -> Dict[int, float]:
     """Steady-state ``P(k)`` with all timers exponentialised (ablation
-    baseline: what you get without deterministic-activity support)."""
-    model = build_capacity_san(config, exponential_timers=True)
-    space = generate(model)
-    ctmc = from_state_space(space)
-    pi = ctmc.steady_state()
-    marking_probs = steady_state_marking_distribution(space, pi)
-    return _marking_capacity_distribution(marking_probs, model)
+    baseline: what you get without deterministic-activity support).
+    Memoized like :func:`capacity_distribution`."""
+
+    def solve() -> Dict[int, float]:
+        model = build_capacity_san(config, exponential_timers=True)
+        space = generate(model)
+        ctmc = from_state_space(space)
+        pi = ctmc.steady_state()
+        marking_probs = steady_state_marking_distribution(space, pi)
+        return _marking_capacity_distribution(marking_probs, model)
+
+    result = _memoized(
+        _DISTRIBUTION_CACHE, (config, None, "exponential"), solve
+    )
+    return dict(result)
 
 
 def capacity_distribution_simulated(
@@ -331,11 +450,10 @@ def capacity_transient(
     justified steady state there): useful for questions like "how
     degraded is the constellation likely to be halfway through a
     scheduled-deployment period?".  Solved by uniformisation on the
-    phase-type-unfolded chain.
+    phase-type-unfolded chain (cached, so evaluating more time points
+    later reuses the structural work).
     """
-    model = build_capacity_san(config)
-    space = generate(model)
-    chain = unfold(space, stages=stages)
+    model, space, chain = _unfolded_chain(config, stages)
     position = model.place_index.position("active")
     results: Dict[float, Dict[int, float]] = {}
     for t in times:

@@ -67,7 +67,14 @@ class OAQFramework:
         return conditional_distribution(geometry, self.params, scheme)
 
     def capacity_probabilities(self, *, truncate: bool = True) -> Dict[int, float]:
-        """``P(k)`` from the SAN capacity model (cached per instance).
+        """``P(k)`` from the SAN capacity model.
+
+        The solve itself is memoized process-wide on the frozen
+        ``(CapacityModelConfig, stages)`` key (see
+        :mod:`repro.analytic.solve_cache`), so distinct framework
+        instances over the same capacity parameters -- e.g. every point
+        of a ``tau``/``mu`` sweep -- share one solve; this instance
+        additionally keeps a direct reference to skip the key lookup.
 
         With ``truncate`` the paper's Eq. (3) truncation is applied:
         only ``k >= min_capacity`` is kept (the composition renormalises
@@ -155,8 +162,11 @@ class OAQFramework:
     def sweep(self, field: str, values, scheme: Scheme, level: QoSLevel):
         """Evaluate ``P(Y >= level)`` across a parameter sweep.
 
-        Returns ``[(value, probability), ...]``; each point uses a
-        fresh framework so capacity caching stays consistent.
+        Returns ``[(value, probability), ...]``.  Each point uses a
+        fresh framework; the global capacity memoization means points
+        that do not change the capacity parameters (``tau``, ``mu``,
+        ``nu``) still share a single SAN solve.  For parallel grids and
+        full tables use :class:`repro.experiments.engine.SweepRunner`.
         """
         results = []
         for value in values:

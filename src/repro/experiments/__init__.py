@@ -8,6 +8,7 @@ has its own ``main()``.
 from repro.experiments import (
     aging_exp,
     calibration_exp,
+    engine,
     fig7,
     fig8,
     fig9,
@@ -23,12 +24,16 @@ from repro.experiments import (
     table1,
     text_results,
 )
+from repro.experiments.engine import SweepRunner, evaluate_grid
 from repro.experiments.report import ExperimentResult, format_table
 
 __all__ = [
     "ExperimentResult",
+    "SweepRunner",
     "aging_exp",
     "calibration_exp",
+    "engine",
+    "evaluate_grid",
     "fig7",
     "fig8",
     "fig9",

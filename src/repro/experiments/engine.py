@@ -1,0 +1,198 @@
+"""Memoized + parallel experiment evaluation engine.
+
+Every sweep/figure experiment is a grid of independent points, and the
+expensive part of each point -- the SAN capacity solve -- depends only
+on ``(CapacityModelConfig, stages)``.  :class:`SweepRunner` exploits
+both facts:
+
+* **Shared solves** named in ``presolve`` are computed once in the
+  parent process through the memoized
+  :func:`~repro.analytic.capacity.capacity_distribution` before any
+  point is evaluated, so a ``tau``/``mu`` sweep performs exactly one
+  capacity solve for its whole grid (asserted by the engine tests via
+  the cache counters).
+* **Fan-out**: with ``n_jobs > 1`` the grid is evaluated through a
+  ``concurrent.futures`` process pool (the solves are CPU-bound, so
+  threads would serialise on the GIL).  Worker processes are seeded
+  with the parent's solved-distribution cache so shared solves are not
+  repeated per worker.  ``n_jobs=1`` (the default) runs sequentially
+  in-process with no pool overhead, and ``n_jobs=-1`` uses one worker
+  per CPU.
+* **Determinism**: rows come back in grid order regardless of worker
+  completion order, so parallel and sequential runs produce identical
+  :class:`~repro.experiments.report.ExperimentResult` tables.
+
+Per-stage wall-clock timings (``capacity_presolve``, ``rows``,
+``total``) are recorded into ``ExperimentResult.timings`` so the
+benchmarks can attribute speedups.  See ``docs/SAN_ENGINE.md`` for the
+user guide.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analytic.capacity import (
+    CapacityModelConfig,
+    capacity_cache_snapshot,
+    capacity_distribution,
+    seed_capacity_cache,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["SweepRunner", "evaluate_grid"]
+
+#: A sweep point is a plain mapping of parameter name -> value; it must
+#: be picklable for the process-pool path.
+Point = Mapping[str, object]
+RowFn = Callable[[Point], Dict[str, object]]
+
+
+@contextmanager
+def _stage(timings: Dict[str, float], name: str):
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        timings[name] = timings.get(name, 0.0) + time.perf_counter() - start
+
+
+def _seed_worker(entries) -> None:
+    """Process-pool initializer: install the parent's solved ``P(k)``
+    entries into this worker's capacity cache."""
+    seed_capacity_cache(entries)
+
+
+def _evaluate_point(payload: Tuple[RowFn, int, Point]):
+    """Top-level (hence picklable) per-point task."""
+    row_fn, index, point = payload
+    return index, row_fn(point)
+
+
+class SweepRunner:
+    """Evaluate experiment grids with shared solves and optional
+    process-pool parallelism.
+
+    Parameters
+    ----------
+    n_jobs:
+        ``1`` evaluates sequentially in-process (no pool, no pickling);
+        ``> 1`` fans points out over that many worker processes;
+        ``-1`` means one worker per available CPU.
+    """
+
+    def __init__(self, n_jobs: int = 1):
+        if n_jobs == -1:
+            n_jobs = os.cpu_count() or 1
+        if not isinstance(n_jobs, int) or n_jobs < 1:
+            raise ConfigurationError(
+                f"n_jobs must be a positive int or -1, got {n_jobs!r}"
+            )
+        self.n_jobs = n_jobs
+
+    # ------------------------------------------------------------------
+    # Shared capacity solves
+    # ------------------------------------------------------------------
+    @staticmethod
+    def presolve_capacity(
+        keys: Iterable[Tuple[CapacityModelConfig, int]],
+    ) -> int:
+        """Solve each distinct ``(config, stages)`` once (memoized).
+
+        Returns the number of distinct keys.  Call this with the
+        configs that are shared by *multiple* grid points; per-point
+        configs are better solved inside the point evaluation (in
+        parallel mode that keeps them on the workers).
+        """
+        distinct = list(dict.fromkeys(keys))
+        for config, stages in distinct:
+            capacity_distribution(config, stages=stages)
+        return len(distinct)
+
+    # ------------------------------------------------------------------
+    # Grid evaluation
+    # ------------------------------------------------------------------
+    def map_rows(
+        self, row_fn: RowFn, points: Sequence[Point]
+    ) -> List[Dict[str, object]]:
+        """``[row_fn(p) for p in points]``, possibly in parallel, with
+        the sequential ordering guaranteed either way."""
+        points = list(points)
+        if not points:
+            return []
+        if self.n_jobs == 1 or len(points) == 1:
+            return [dict(row_fn(point)) for point in points]
+
+        rows: List[Optional[Dict[str, object]]] = [None] * len(points)
+        workers = min(self.n_jobs, len(points))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_seed_worker,
+            initargs=(capacity_cache_snapshot(),),
+        ) as pool:
+            futures = [
+                pool.submit(_evaluate_point, (row_fn, index, point))
+                for index, point in enumerate(points)
+            ]
+            # Completion order is nondeterministic; indexed placement
+            # restores grid order.
+            for future in futures:
+                index, row = future.result()
+                rows[index] = dict(row)
+        return [row for row in rows if row is not None]
+
+    def run(
+        self,
+        *,
+        experiment_id: str,
+        title: str,
+        headers: Sequence[str],
+        row_fn: RowFn,
+        points: Sequence[Point],
+        notes: Sequence[str] = (),
+        presolve: Iterable[Tuple[CapacityModelConfig, int]] = (),
+    ) -> ExperimentResult:
+        """Presolve shared configs, evaluate the grid, and package the
+        rows -- with stage timings -- as an :class:`ExperimentResult`."""
+        timings: Dict[str, float] = {}
+        with _stage(timings, "total"):
+            with _stage(timings, "capacity_presolve"):
+                self.presolve_capacity(presolve)
+            with _stage(timings, "rows"):
+                rows = self.map_rows(row_fn, points)
+        return ExperimentResult(
+            experiment_id=experiment_id,
+            title=title,
+            headers=list(headers),
+            rows=rows,
+            notes=list(notes),
+            timings=timings,
+        )
+
+
+def evaluate_grid(
+    row_fn: RowFn,
+    points: Sequence[Point],
+    *,
+    n_jobs: int = 1,
+    presolve: Iterable[Tuple[CapacityModelConfig, int]] = (),
+) -> List[Dict[str, object]]:
+    """Functional shorthand: presolve shared configs, then map the grid
+    through a :class:`SweepRunner`."""
+    runner = SweepRunner(n_jobs=n_jobs)
+    runner.presolve_capacity(presolve)
+    return runner.map_rows(row_fn, points)

@@ -11,15 +11,33 @@ plane from operating below the threshold.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analytic.capacity import CapacityModelConfig, capacity_distribution
+from repro.experiments.engine import SweepRunner
 from repro.experiments.report import ExperimentResult
 
 __all__ = ["DEFAULT_LAMBDA_GRID", "run"]
 
 #: The figures sweep lambda over [1e-5, 1e-4] per hour.
 DEFAULT_LAMBDA_GRID = tuple(i * 1e-5 for i in range(1, 11))
+
+
+def _capacity_row(point) -> Dict[str, object]:
+    """One lambda's ``P(k)`` curve.  The solve happens here (not in a
+    presolve) because each grid point has its own config -- in parallel
+    mode that keeps the solves on the workers."""
+    config = CapacityModelConfig(
+        failure_rate_per_hour=point["lam"],
+        threshold=point["threshold"],
+        scheduled_period_hours=point["phi"],
+        replacement_latency_hours=point["latency"],
+    )
+    distribution = capacity_distribution(config, stages=point["stages"])
+    row = {"lambda": f"{point['lam']:.0e}"}
+    for k in point["capacities"]:
+        row[f"P(K={k})"] = distribution.get(k, 0.0)
+    return row
 
 
 def run(
@@ -30,30 +48,30 @@ def run(
     replacement_latency_hours: float = 168.0,
     stages: int = 24,
     capacities: Sequence[int] = tuple(range(9, 15)),
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 7's curves."""
     headers = ["lambda"] + [f"P(K={k})" for k in capacities]
-    rows = []
-    for lam in lambda_grid:
-        config = CapacityModelConfig(
-            failure_rate_per_hour=lam,
-            threshold=threshold,
-            scheduled_period_hours=scheduled_period_hours,
-            replacement_latency_hours=replacement_latency_hours,
-        )
-        distribution = capacity_distribution(config, stages=stages)
-        row = {"lambda": f"{lam:.0e}"}
-        for k in capacities:
-            row[f"P(K={k})"] = distribution.get(k, 0.0)
-        rows.append(row)
-    return ExperimentResult(
+    points = [
+        {
+            "lam": lam,
+            "threshold": threshold,
+            "phi": scheduled_period_hours,
+            "latency": replacement_latency_hours,
+            "stages": stages,
+            "capacities": tuple(capacities),
+        }
+        for lam in lambda_grid
+    ]
+    return SweepRunner(n_jobs=n_jobs).run(
         experiment_id="fig7",
         title=(
             "Probability of orbital-plane capacity "
             f"(eta={threshold}, phi={scheduled_period_hours:.0f} hrs)"
         ),
         headers=headers,
-        rows=rows,
+        row_fn=_capacity_row,
+        points=points,
         notes=[
             "Paper shape: P(14) dominates at lambda=1e-5; P(10) rapidly "
             "increases and dominates as lambda grows; P(9) stays small.",

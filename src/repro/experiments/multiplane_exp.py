@@ -11,15 +11,40 @@ This experiment quantifies the gap: ``P(Y >= y)`` for the worst case
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
+from repro.analytic.capacity import CapacityModelConfig
 from repro.analytic.multiplane import multi_plane_distribution
 from repro.core.config import EvaluationParams
 from repro.core.qos import QoSLevel
 from repro.core.schemes import Scheme
+from repro.experiments.engine import SweepRunner
 from repro.experiments.report import ExperimentResult
 
 __all__ = ["run"]
+
+
+def _multiplane_row(point) -> Dict[str, object]:
+    """One (lambda, planes) cell.  Both schemes and all plane counts of
+    a lambda share its capacity config; the presolved cache entry makes
+    each ``multi_plane_distribution`` call reuse one solve."""
+    params = EvaluationParams(
+        signal_termination_rate=point["mu"],
+        node_failure_rate_per_hour=point["lam"],
+    )
+    planes = point["planes"]
+    stages = point["stages"]
+    row = {"lambda": f"{point['lam']:.0e}", "planes": planes}
+    oaq = multi_plane_distribution(
+        params, Scheme.OAQ, covering_planes=planes, capacity_stages=stages
+    )
+    baq = multi_plane_distribution(
+        params, Scheme.BAQ, covering_planes=planes, capacity_stages=stages
+    )
+    row["OAQ P(Y>=2)"] = oaq.at_least(QoSLevel.SEQUENTIAL_DUAL)
+    row["OAQ P(Y>=3)"] = oaq.at_least(QoSLevel.SIMULTANEOUS_DUAL)
+    row["BAQ P(Y>=2)"] = baq.at_least(QoSLevel.SEQUENTIAL_DUAL)
+    return row
 
 
 def run(
@@ -28,31 +53,28 @@ def run(
     plane_counts: Sequence[int] = (1, 2, 3),
     mu: float = 0.2,
     stages: int = 16,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Tabulate the best-of-planes QoS measure."""
     headers = ["lambda", "planes", "OAQ P(Y>=2)", "OAQ P(Y>=3)", "BAQ P(Y>=2)"]
-    rows = []
+    points = []
+    presolve = []
     for lam in lambdas:
         params = EvaluationParams(
             signal_termination_rate=mu, node_failure_rate_per_hour=lam
         )
+        presolve.append((CapacityModelConfig.from_params(params), stages))
         for planes in plane_counts:
-            row = {"lambda": f"{lam:.0e}", "planes": planes}
-            oaq = multi_plane_distribution(
-                params, Scheme.OAQ, covering_planes=planes, capacity_stages=stages
+            points.append(
+                {"lam": lam, "planes": planes, "mu": mu, "stages": stages}
             )
-            baq = multi_plane_distribution(
-                params, Scheme.BAQ, covering_planes=planes, capacity_stages=stages
-            )
-            row["OAQ P(Y>=2)"] = oaq.at_least(QoSLevel.SEQUENTIAL_DUAL)
-            row["OAQ P(Y>=3)"] = oaq.at_least(QoSLevel.SIMULTANEOUS_DUAL)
-            row["BAQ P(Y>=2)"] = baq.at_least(QoSLevel.SEQUENTIAL_DUAL)
-            rows.append(row)
-    return ExperimentResult(
+    return SweepRunner(n_jobs=n_jobs).run(
         experiment_id="multiplane",
         title="Best-of-planes QoS vs the paper's single-plane worst case",
         headers=headers,
-        rows=rows,
+        row_fn=_multiplane_row,
+        points=points,
+        presolve=presolve,
         notes=[
             "Extension: planes degrade independently (no shared spares), so "
             "a target covered by p planes receives max of p i.i.d. results.",

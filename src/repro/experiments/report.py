@@ -17,13 +17,20 @@ __all__ = ["ExperimentResult", "format_table"]
 @dataclass
 class ExperimentResult:
     """A titled table: ``headers`` name the columns, each row maps
-    header -> value."""
+    header -> value.
+
+    ``timings`` holds per-stage wall-clock seconds recorded by the
+    experiment engine (e.g. ``capacity_presolve``, ``rows``, ``total``)
+    so benchmarks can assert where the time went; it is empty for
+    experiments that do not time themselves.
+    """
 
     experiment_id: str
     title: str
     headers: List[str]
     rows: List[Dict[str, object]]
     notes: List[str] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def column(self, header: str) -> List[object]:
         """All values of one column, in row order."""

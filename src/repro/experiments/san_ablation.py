@@ -19,6 +19,7 @@ from repro.analytic.capacity import (
     capacity_distribution_exponential,
     capacity_distribution_simulated,
 )
+from repro.experiments.engine import SweepRunner
 from repro.experiments.report import ExperimentResult
 
 __all__ = ["total_variation", "run"]
@@ -30,6 +31,30 @@ def total_variation(p: Dict[int, float], q: Dict[int, float]) -> float:
     return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
 
 
+def _ablation_row(point) -> Dict[str, object]:
+    """TV distances of one solution variant against the shared
+    references (passed in the point: tiny dicts, cheap to pickle)."""
+    config = CapacityModelConfig(
+        failure_rate_per_hour=point["lam"], threshold=point["threshold"]
+    )
+    if point["variant"] == "exponential":
+        solution = capacity_distribution_exponential(config)
+        label = "exp (no det support)"
+    else:
+        solution = capacity_distribution(config, stages=point["stages"])
+        label = point["stages"]
+    simulated = point["simulated"]
+    return {
+        "stages": label,
+        "TV vs max stages": total_variation(solution, point["reference"]),
+        "TV vs exact DES": (
+            total_variation(solution, simulated)
+            if simulated is not None
+            else "-"
+        ),
+    }
+
+
 def run(
     *,
     stage_grid: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
@@ -38,9 +63,12 @@ def run(
     simulate: bool = True,
     horizon_hours: float = 1.5e6,
     seed: Optional[int] = 11,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """Stage-count ablation at one representative ``lambda``."""
     config = CapacityModelConfig(failure_rate_per_hour=lam, threshold=threshold)
+    # The reference solve is memoized, so the max-stage grid row below
+    # reuses it instead of re-running the largest unfolding.
     reference = capacity_distribution(config, stages=max(stage_grid))
     simulated = (
         capacity_distribution_simulated(
@@ -50,36 +78,26 @@ def run(
         else None
     )
     headers = ["stages", "TV vs max stages", "TV vs exact DES"]
-    rows = []
-    exponential = capacity_distribution_exponential(config)
-    rows.append(
-        {
-            "stages": "exp (no det support)",
-            "TV vs max stages": total_variation(exponential, reference),
-            "TV vs exact DES": (
-                total_variation(exponential, simulated) if simulated else "-"
-            ),
-        }
+    shared = {
+        "lam": lam,
+        "threshold": threshold,
+        "reference": reference,
+        "simulated": simulated,
+    }
+    points = [{"variant": "exponential", "stages": None, **shared}]
+    points.extend(
+        {"variant": "erlang", "stages": stages, **shared}
+        for stages in stage_grid
     )
-    for stages in stage_grid:
-        solution = capacity_distribution(config, stages=stages)
-        rows.append(
-            {
-                "stages": stages,
-                "TV vs max stages": total_variation(solution, reference),
-                "TV vs exact DES": (
-                    total_variation(solution, simulated) if simulated else "-"
-                ),
-            }
-        )
-    return ExperimentResult(
+    return SweepRunner(n_jobs=n_jobs).run(
         experiment_id="ablation-phases",
         title=(
             "Erlang-stage ablation for the deterministic timers "
             f"(lambda={lam:.0e}, eta={threshold})"
         ),
         headers=headers,
-        rows=rows,
+        row_fn=_ablation_row,
+        points=points,
         notes=[
             "stages=1 is a plain exponential of equal mean; the gap to the "
             "high-stage solution is the price of lacking deterministic-"

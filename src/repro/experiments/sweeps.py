@@ -11,19 +11,57 @@ The paper reports these two studies in prose only (end of Section 4.3):
 BAQ serves as the control: its level-3 probability is independent of
 ``mu``, and its gain with ``tau`` saturates as soon as the computation
 reliably finishes (no waiting ever happens).
+
+Both sweeps run on :class:`~repro.experiments.engine.SweepRunner`: the
+capacity distribution ``P(k)`` depends on neither ``tau`` nor ``mu``,
+so the whole grid shares **one** capacity solve (presolved through the
+memoized :func:`~repro.analytic.capacity.capacity_distribution`), and
+``n_jobs`` fans the remaining closed-form work out across processes.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
+from repro.analytic.capacity import CapacityModelConfig
 from repro.core.config import EvaluationParams
 from repro.core.framework import OAQFramework
 from repro.core.qos import QoSLevel
 from repro.core.schemes import Scheme
+from repro.experiments.engine import SweepRunner
 from repro.experiments.report import ExperimentResult
 
 __all__ = ["run_tau_sweep", "run_mu_sweep"]
+
+
+def _qos_point_row(point) -> Dict[str, object]:
+    """Shared per-point evaluation: both schemes' P(Y>=2) and P(Y>=3)
+    at one ``(tau, mu, lambda, eta)`` setting.  Top-level so the
+    process-pool path can pickle it."""
+    params = EvaluationParams(
+        deadline_minutes=point["tau"],
+        signal_termination_rate=point["mu"],
+        node_failure_rate_per_hour=point["lam"],
+        deployment_threshold=point["threshold"],
+    )
+    framework = OAQFramework(params, capacity_stages=point["stages"])
+    row = dict(point["label"])
+    for scheme in (Scheme.OAQ, Scheme.BAQ):
+        distribution = framework.qos_distribution(scheme)
+        row[f"{scheme.name} P(Y>=2)"] = distribution.at_least(
+            QoSLevel.SEQUENTIAL_DUAL
+        )
+        row[f"{scheme.name} P(Y>=3)"] = distribution.at_least(
+            QoSLevel.SIMULTANEOUS_DUAL
+        )
+    return row
+
+
+def _shared_capacity_key(lam, threshold, stages):
+    params = EvaluationParams(
+        node_failure_rate_per_hour=lam, deployment_threshold=threshold
+    )
+    return (CapacityModelConfig.from_params(params), stages)
 
 
 def run_tau_sweep(
@@ -33,33 +71,28 @@ def run_tau_sweep(
     mu: float = 0.2,
     threshold: int = 10,
     stages: int = 24,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """QoS measure vs deadline ``tau``."""
     headers = ["tau", "OAQ P(Y>=2)", "BAQ P(Y>=2)", "OAQ P(Y>=3)", "BAQ P(Y>=3)"]
-    rows = []
-    for tau in taus:
-        params = EvaluationParams(
-            deadline_minutes=tau,
-            signal_termination_rate=mu,
-            node_failure_rate_per_hour=lam,
-            deployment_threshold=threshold,
-        )
-        framework = OAQFramework(params, capacity_stages=stages)
-        row = {"tau": tau}
-        for scheme in (Scheme.OAQ, Scheme.BAQ):
-            distribution = framework.qos_distribution(scheme)
-            row[f"{scheme.name} P(Y>=2)"] = distribution.at_least(
-                QoSLevel.SEQUENTIAL_DUAL
-            )
-            row[f"{scheme.name} P(Y>=3)"] = distribution.at_least(
-                QoSLevel.SIMULTANEOUS_DUAL
-            )
-        rows.append(row)
-    return ExperimentResult(
+    points = [
+        {
+            "label": {"tau": tau},
+            "tau": tau,
+            "mu": mu,
+            "lam": lam,
+            "threshold": threshold,
+            "stages": stages,
+        }
+        for tau in taus
+    ]
+    return SweepRunner(n_jobs=n_jobs).run(
         experiment_id="tau-sweep",
         title=f"QoS measure vs deadline tau (lambda={lam:.0e}, mu={mu})",
         headers=headers,
-        rows=rows,
+        row_fn=_qos_point_row,
+        points=points,
+        presolve=[_shared_capacity_key(lam, threshold, stages)],
         notes=[
             "Paper claim: OAQ takes full advantage of the time allowance -- "
             "its curves keep rising with tau while BAQ's saturate.",
@@ -74,6 +107,7 @@ def run_mu_sweep(
     tau: float = 5.0,
     threshold: int = 10,
     stages: int = 24,
+    n_jobs: int = 1,
 ) -> ExperimentResult:
     """QoS measure vs mean signal duration ``1/mu``."""
     headers = [
@@ -84,31 +118,24 @@ def run_mu_sweep(
         "OAQ P(Y>=3)",
         "BAQ P(Y>=3)",
     ]
-    rows = []
-    for mean in mean_durations:
-        mu = 1.0 / mean
-        params = EvaluationParams(
-            deadline_minutes=tau,
-            signal_termination_rate=mu,
-            node_failure_rate_per_hour=lam,
-            deployment_threshold=threshold,
-        )
-        framework = OAQFramework(params, capacity_stages=stages)
-        row = {"mean duration": mean, "mu": round(mu, 4)}
-        for scheme in (Scheme.OAQ, Scheme.BAQ):
-            distribution = framework.qos_distribution(scheme)
-            row[f"{scheme.name} P(Y>=2)"] = distribution.at_least(
-                QoSLevel.SEQUENTIAL_DUAL
-            )
-            row[f"{scheme.name} P(Y>=3)"] = distribution.at_least(
-                QoSLevel.SIMULTANEOUS_DUAL
-            )
-        rows.append(row)
-    return ExperimentResult(
+    points = [
+        {
+            "label": {"mean duration": mean, "mu": round(1.0 / mean, 4)},
+            "tau": tau,
+            "mu": 1.0 / mean,
+            "lam": lam,
+            "threshold": threshold,
+            "stages": stages,
+        }
+        for mean in mean_durations
+    ]
+    return SweepRunner(n_jobs=n_jobs).run(
         experiment_id="mu-sweep",
         title=f"QoS measure vs mean signal duration (lambda={lam:.0e}, tau={tau})",
         headers=headers,
-        rows=rows,
+        row_fn=_qos_point_row,
+        points=points,
+        presolve=[_shared_capacity_key(lam, threshold, stages)],
         notes=[
             "Paper claim: OAQ treats a longer signal as extended opportunity "
             "(rising curves); BAQ's level-3 probability is mu-invariant.",

@@ -99,6 +99,96 @@ class TestTransient:
             chain.transient(-1.0)
 
 
+class TestEdgeCases:
+    def test_two_recurrent_classes_rejected_by_residual_check(self):
+        """Two disjoint recurrent classes have no unique stationary
+        distribution; the solver must refuse rather than return one."""
+        chain = CTMC(
+            4,
+            [(0, 1, 1.0), (1, 0, 1.0), (2, 3, 2.0), (3, 2, 2.0)],
+        )
+        with pytest.raises(SolverError):
+            chain.steady_state()
+
+    def test_absorbing_tail_rejected(self):
+        """A transient start draining into two absorbing states."""
+        chain = CTMC(3, [(0, 1, 0.5), (0, 2, 1.5)])
+        with pytest.raises(SolverError):
+            chain.steady_state()
+
+    def test_transient_zero_returns_independent_copy(self):
+        chain = CTMC(2, [(0, 1, 1.0)], initial_distribution=[(1.0, 0)])
+        p = chain.transient(0.0)
+        assert p.tolist() == [1.0, 0.0]
+        p[0] = 99.0  # mutating the result must not leak into the chain
+        assert chain.transient(0.0).tolist() == [1.0, 0.0]
+
+    def test_transient_zero_with_explicit_initial(self):
+        chain = CTMC(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        initial = np.array([0.2, 0.3, 0.5])
+        assert chain.transient(0.0, initial=initial).tolist() == [
+            0.2,
+            0.3,
+            0.5,
+        ]
+
+    def test_long_horizon_split_path_matches_matrix_exponential(self):
+        """lam*t > 400 triggers the horizon-splitting branch; its
+        answer must agree with expm(Q^T t) p0 on a stiff chain."""
+        from scipy.linalg import expm
+
+        # Fast 0<->1 oscillation plus a slow drain into 2<->3: the
+        # uniformisation rate is ~102, so t=10 gives lam*t ~ 1040,
+        # i.e. three split steps -- while the slow part keeps the
+        # distribution far from degenerate.
+        transitions = [
+            (0, 1, 100.0),
+            (1, 0, 100.0),
+            (1, 2, 0.05),
+            (2, 3, 0.2),
+            (3, 2, 0.1),
+        ]
+        chain = CTMC(4, transitions)
+        t = 10.0
+        assert float(chain.exit_rates.max()) * t > 400.0
+        p = chain.transient(t)
+        q = chain.generator.toarray()
+        expected = expm(q.T * t) @ chain.initial_vector()
+        assert p.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.allclose(p, expected, atol=1e-7)
+
+    def test_expected_reward_single_state_chain(self):
+        chain = CTMC(1, [])
+        pi = chain.steady_state()
+        assert chain.expected_reward(pi, lambda s: 7.5) == pytest.approx(7.5)
+
+    def test_expected_reward_vectorized_matches_loop_on_10k_states(self):
+        """The np.fromiter dot product must agree with the Python-level
+        accumulation it replaced, at unfolded-chain scale."""
+        n = 10_000
+        ring = [(s, (s + 1) % n, 1.0) for s in range(n)]
+        chain = CTMC(n, ring)
+        rng = np.random.default_rng(7)
+        pi = rng.random(n)
+        pi /= pi.sum()
+        reward = lambda s: math.sin(s) + 0.5 * s  # noqa: E731
+        expected = float(sum(pi[s] * reward(s) for s in range(n)))
+        assert chain.expected_reward(pi, reward) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_expected_reward_on_uniform_ring_is_mean_reward(self):
+        n = 10_000
+        ring = [(s, (s + 1) % n, 1.0) for s in range(n)]
+        chain = CTMC(n, ring)
+        pi = chain.steady_state()
+        # The symmetric ring's stationary distribution is uniform, so
+        # E[reward(s) = s] is the mean state index.
+        assert chain.expected_reward(pi, float) == pytest.approx(
+            (n - 1) / 2.0, rel=1e-6
+        )
+
+
 class TestConversion:
     def test_general_transitions_rejected(self):
         from repro.analytic.distributions import Deterministic
