@@ -9,6 +9,13 @@ with no error signalled to peers, which is precisely the failure mode
 the OAQ "coordination done" timeout protects against -- and optional
 i.i.d. **message loss** for fault-injection studies (a lost message
 vanishes silently in flight).
+
+Loss comes in two flavours: a scalar ``loss_probability`` applied to
+every message, and a ``loss_fn`` hook evaluated per message as
+``loss_fn(now, source, destination) -> probability`` -- the mechanism
+the fault-injection campaign engine (:mod:`repro.faults`) uses for
+per-link loss rates and downlink blackout windows.  A probability of
+``1.0`` is a total blackout: every matching message is dropped.
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ from repro.errors import ConfigurationError, ProtocolError
 __all__ = ["MessageRecord", "Network"]
 
 Handler = Callable[[str, object], None]
+
+#: Per-message loss hook: ``(now, source, destination) -> probability``.
+LossFn = Callable[[float, str, str], float]
 
 
 @dataclass(frozen=True)
@@ -62,24 +72,26 @@ class Network:
         default_delay: float = 0.0,
         delay_fn: Optional[Callable[[str, str], float]] = None,
         loss_probability: float = 0.0,
+        loss_fn: Optional[LossFn] = None,
         rng=None,
     ):
         if default_delay < 0:
             raise ConfigurationError(
                 f"default_delay must be >= 0, got {default_delay}"
             )
-        if not 0.0 <= loss_probability < 1.0:
+        if not 0.0 <= loss_probability <= 1.0:
             raise ConfigurationError(
-                f"loss_probability must be in [0, 1), got {loss_probability}"
+                f"loss_probability must be in [0, 1], got {loss_probability}"
             )
-        if loss_probability > 0.0 and rng is None:
+        if (loss_probability > 0.0 or loss_fn is not None) and rng is None:
             raise ConfigurationError(
-                "a random generator is required when loss_probability > 0"
+                "a random generator is required when messages can be lost"
             )
         self.simulator = simulator
         self.default_delay = default_delay
         self.delay_fn = delay_fn
         self.loss_probability = loss_probability
+        self.loss_fn = loss_fn
         self._rng = rng
         self._handlers: Dict[str, Handler] = {}
         self._failed: set = set()
@@ -117,6 +129,10 @@ class Network:
         """Send ``message``; it is silently dropped when either endpoint
         is fail-silent (the sender never learns -- that is the point of
         fail-silence)."""
+        if source not in self._handlers:
+            # A typo'd source would otherwise bypass the fail-silence
+            # check forever (``_failed`` is keyed by registered names).
+            raise ProtocolError(f"message from unknown node {source!r}")
         if destination not in self._handlers:
             raise ProtocolError(f"message to unknown node {destination!r}")
         if delay is None:
@@ -130,7 +146,7 @@ class Network:
         if source in self._failed:
             self.log.append(MessageRecord(sent_at, None, source, destination, message))
             return
-        if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:
+        if self._lost(sent_at, source, destination):
             # Crosslink corruption/erasure: the message vanishes in
             # flight, silently (the sender cannot tell).
             self.log.append(MessageRecord(sent_at, None, source, destination, message))
@@ -146,6 +162,25 @@ class Network:
             message,
             priority=-1,
         )
+
+    def _lost(self, now: float, source: str, destination: str) -> bool:
+        """Whether this message is lost in flight.  The scalar
+        ``loss_probability`` and the per-message ``loss_fn`` act as
+        independent erasure channels; a probability of 1.0 drops the
+        message deterministically (no random draw), so blackout windows
+        do not perturb the random stream of the surviving traffic."""
+        probability = self.loss_probability
+        if self.loss_fn is not None:
+            extra = self.loss_fn(now, source, destination)
+            if not 0.0 <= extra <= 1.0:
+                raise ConfigurationError(
+                    f"loss_fn returned {extra!r} for {source!r}->"
+                    f"{destination!r}; probabilities must be in [0, 1]"
+                )
+            probability = 1.0 - (1.0 - probability) * (1.0 - extra)
+        if probability >= 1.0:
+            return True
+        return probability > 0.0 and self._rng.random() < probability
 
     def _deliver(
         self, sent_at: float, source: str, destination: str, message: object

@@ -14,6 +14,7 @@ import argparse
 from repro.experiments import (
     aging_exp,
     calibration_exp,
+    faults_exp,
     fig7,
     fig8,
     fig9,
@@ -97,6 +98,7 @@ def main() -> None:
             orbits_exp.run_latitude_profile(),
             san_ablation.run(),
             calibration_exp.run(),
+            faults_exp.run(),
         ):
             print(result.render())
             print()

@@ -1,0 +1,167 @@
+"""Experiment ``faults``: graceful degradation under injected faults.
+
+Runs a seeded fault-injection campaign (see :mod:`repro.faults`) over a
+battery of fault plans on an underlapping plane and reports, per
+(plan, scheme) cell, the empirical achieved-QoS-level distribution with
+Wilson confidence bounds.  Where a closed-form reference exists (the
+fault-free plan, and the all-successors-fail-silent plan, which
+degrades OAQ to the BAQ conditional distribution) the analytic
+``P(Y >= 2)`` is shown alongside so the table doubles as a validation
+report.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.analytic.qos_model import conditional_distribution
+from repro.core.config import EvaluationParams
+from repro.core.qos import QoSLevel
+from repro.core.schemes import Scheme
+from repro.experiments.report import ExperimentResult
+from repro.faults.campaign import Campaign
+from repro.faults.plan import FaultPlan
+from repro.faults.validation import fail_silent_reference
+
+__all__ = ["plan_battery", "run"]
+
+
+def plan_battery() -> "list[FaultPlan]":
+    """The battery of fault plans exercised by the experiment.
+
+    The ``stale-view`` and ``fresh-view`` plans inject the *same*
+    single-successor failure; they differ only in how quickly the
+    membership view learns of it (never versus immediately), isolating
+    the value of failure detection for the coordination chain.
+    """
+    return [
+        FaultPlan.fault_free(),
+        FaultPlan.successors_fail_silent(0.0),
+        FaultPlan.successors_fail_silent(0.0, count=1, name="next-fails"),
+        FaultPlan(
+            name="stale-view",
+            fail_successors_at=0.0,
+            fail_successor_count=1,
+            membership_staleness=1e9,
+        ),
+        FaultPlan(
+            name="fresh-view",
+            fail_successors_at=0.0,
+            fail_successor_count=1,
+            membership_staleness=0.0,
+        ),
+        FaultPlan.lossy(0.2),
+        FaultPlan.downlink_blackout(0.0, 60.0),
+    ]
+
+
+def run(
+    *,
+    runs: int = 250,
+    capacity: int = 9,
+    seed: Optional[int] = 2026,
+    n_jobs: int = 1,
+) -> ExperimentResult:
+    """Fault-injection campaign table (underlapping plane)."""
+    params = EvaluationParams(signal_termination_rate=0.2)
+    geometry = params.constellation.plane_geometry(capacity)
+    plans = plan_battery()
+    campaign = Campaign(
+        params,
+        capacity=capacity,
+        plans=plans,
+        schemes=(Scheme.OAQ, Scheme.BAQ),
+        runs=runs,
+        seed=seed if seed is not None else 0,
+        n_jobs=n_jobs,
+    )
+    result = campaign.run()
+
+    analytic = {
+        ("fault-free", Scheme.OAQ): conditional_distribution(
+            geometry, params, Scheme.OAQ
+        ),
+        ("fault-free", Scheme.BAQ): conditional_distribution(
+            geometry, params, Scheme.BAQ
+        ),
+        ("successors-fail-all", Scheme.OAQ): fail_silent_reference(
+            geometry, params, Scheme.OAQ
+        ),
+        ("successors-fail-all", Scheme.BAQ): fail_silent_reference(
+            geometry, params, Scheme.BAQ
+        ),
+    }
+
+    headers = [
+        "plan",
+        "scheme",
+        "runs",
+        "P(Y>=1)",
+        "P(Y>=2)",
+        "ci low",
+        "ci high",
+        "analytic P(Y>=2)",
+        "mean level",
+    ]
+    rows = []
+    for outcome in result.outcomes:
+        reference = analytic.get((outcome.plan.name, outcome.scheme))
+        interval = outcome.wilson(QoSLevel.SEQUENTIAL_DUAL)
+        rows.append(
+            {
+                "plan": outcome.plan.name,
+                "scheme": outcome.scheme.name,
+                "runs": outcome.runs,
+                "P(Y>=1)": outcome.p_at_least(QoSLevel.SINGLE),
+                "P(Y>=2)": outcome.p_at_least(QoSLevel.SEQUENTIAL_DUAL),
+                "ci low": interval.low,
+                "ci high": interval.high,
+                "analytic P(Y>=2)": (
+                    reference.at_least(QoSLevel.SEQUENTIAL_DUAL)
+                    if reference is not None
+                    else "-"
+                ),
+                "mean level": outcome.mean_level(),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="faults",
+        title=(
+            f"fault-injection campaign (k={capacity}, {runs} runs/cell, "
+            f"seed={seed})"
+        ),
+        headers=headers,
+        rows=rows,
+        timings=result.timings,
+        notes=[
+            "Killing every successor degrades OAQ to the analytic BAQ "
+            "distribution -- graceful degradation: level 2 is lost but "
+            "level 1 is untouched.  At the paper's 5-minute deadline "
+            "even an omniscient membership view cannot route around a "
+            "dead successor (the next-next footprint arrives after "
+            "tau), so stale-view and fresh-view coincide here; the "
+            "routing benefit appears once tau admits the second "
+            "successor.  The 60-minute downlink blackout drives every "
+            "cell to level 0: no alert reaches the ground regardless "
+            "of scheme.",
+        ],
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=250, help="runs per cell")
+    parser.add_argument("--capacity", type=int, default=9, help="satellites k")
+    parser.add_argument("--seed", type=int, default=2026, help="campaign seed")
+    parser.add_argument("--jobs", type=int, default=1, help="process-pool size")
+    args = parser.parse_args()
+    print(
+        run(
+            runs=args.runs, capacity=args.capacity, seed=args.seed, n_jobs=args.jobs
+        ).render()
+    )
+
+
+if __name__ == "__main__":
+    main()

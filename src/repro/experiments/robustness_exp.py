@@ -25,13 +25,19 @@ from repro.core.qos import QoSLevel
 from repro.core.schemes import Scheme
 from repro.experiments.report import ExperimentResult
 
-__all__ = ["duration_models", "run"]
+__all__ = ["HYPEREXPONENTIAL_CV2", "duration_models", "run"]
+
+#: Squared coefficient of variation of the bursty hyperexponential
+#: below.  With rates ``[3r, 0.6r]`` and equal weights the mean is
+#: ``1/r`` and ``E[X^2] = (1/9 + 1/0.36) / r^2 = 26 / (9 r^2)``, so
+#: ``CV^2 = 26/9 - 1 = 17/9``.
+HYPEREXPONENTIAL_CV2 = 17.0 / 9.0
 
 
 def duration_models(mean_minutes: float):
     """Three duration distributions with the same mean: the paper's
-    exponential, a bursty hyperexponential (CV^2 = 2.12) and a
-    deterministic duration."""
+    exponential (CV^2 = 1), a bursty hyperexponential
+    (CV^2 = 17/9 ~= 1.89) and a deterministic duration (CV^2 = 0)."""
     rate = 1.0 / mean_minutes
     return {
         "exponential": Exponential(rate),

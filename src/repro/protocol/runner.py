@@ -79,7 +79,10 @@ class CenterlineScenario:
         threshold, ...).
     onset_position:
         Signal onset's cycle position ``x`` in ``[0, L1)``; sampled
-        uniformly when None (the Poisson-arrival assumption).
+        uniformly when None (the Poisson-arrival assumption).  The
+        cycle is periodic, so a position equal to ``L1`` (up to
+        floating-point tolerance) wraps to ``0.0``; anything beyond is
+        rejected.
     signal_duration:
         Emission length in minutes; sampled from ``Exp(mu)`` when None.
     scheme / variant:
@@ -91,6 +94,13 @@ class CenterlineScenario:
         i.i.d. chance that any message (crosslink or downlink) is lost
         in flight -- fault injection beyond the paper's fail-silent
         model.
+    link_loss_fn:
+        Per-message loss hook ``(now, source, destination) ->
+        probability`` combined independently with
+        ``crosslink_loss_probability`` (see
+        :class:`~repro.desim.network.Network`); the fault-injection
+        campaign engine uses it for per-link loss rates and downlink
+        blackout windows.
     next_peer_override:
         Replaces the default "next satellite in visit order" peer
         selection -- e.g. a group-membership view that skips satellites
@@ -115,6 +125,7 @@ class CenterlineScenario:
         computation_time: Optional[Distribution] = None,
         fail_silent: Optional[Mapping[str, float]] = None,
         crosslink_loss_probability: float = 0.0,
+        link_loss_fn: Optional[Callable[[float, str, str], float]] = None,
         next_peer_override: Optional[Callable[[str], Optional[str]]] = None,
         satellite_count: Optional[int] = None,
         seed: Optional[int] = None,
@@ -127,17 +138,28 @@ class CenterlineScenario:
         self.computation_time = computation_time
         self.fail_silent = dict(fail_silent or {})
         self.crosslink_loss_probability = crosslink_loss_probability
+        self.link_loss_fn = link_loss_fn
         self.next_peer_override = next_peer_override
         self.rng = np.random.default_rng(seed)
         self.cycle = FootprintCycle(geometry)
+        #: The DES kernel of the most recent :meth:`run` (None before
+        #: the first run).  Fault-injection hooks that need the current
+        #: simulation time (e.g. stale membership views) read it here.
+        self.simulator: Optional[Simulator] = None
         if onset_position is None:
             onset_position = float(self.rng.uniform(0.0, geometry.l1))
-        if not 0.0 <= onset_position < geometry.l1 + 1e-12:
+        if not 0.0 <= onset_position <= geometry.l1 + 1e-12:
             raise ConfigurationError(
                 f"onset_position must be in [0, L1={geometry.l1}), got "
                 f"{onset_position}"
             )
-        self.onset_position = min(onset_position, geometry.l1)
+        if onset_position >= geometry.l1:
+            # The cycle range is half-open: position L1 (reached exactly,
+            # or through the floating-point tolerance above) is the start
+            # of the next cycle, so it wraps to 0 instead of sitting on
+            # an out-of-range boundary value.
+            onset_position = 0.0
+        self.onset_position = onset_position
         if signal_duration is None:
             signal_duration = float(self.rng.exponential(1.0 / params.mu))
         self.signal = Signal("signal-0", 0.0, signal_duration)
@@ -179,11 +201,14 @@ class CenterlineScenario:
         """Build the simulation, run it to quiescence, adjudicate."""
         params = self.params
         simulator = Simulator()
+        self.simulator = simulator
+        lossy = self.crosslink_loss_probability > 0.0 or self.link_loss_fn is not None
         network = Network(
             simulator,
             default_delay=params.delta,
             loss_probability=self.crosslink_loss_probability,
-            rng=self.rng if self.crosslink_loss_probability > 0.0 else None,
+            loss_fn=self.link_loss_fn,
+            rng=self.rng if lossy else None,
         )
         ground = GroundStation(network)
 

@@ -48,6 +48,9 @@ class RewardEstimate:
     mean: float
     half_width: float
     batches: int
+    #: Per-batch time averages; each batch is normalised by its own
+    #: width, so they average back to ``mean`` (weighted by width).
+    batch_means: Tuple[float, ...] = ()
 
     @property
     def confidence_interval(self) -> Tuple[float, float]:
@@ -171,15 +174,34 @@ class SANSimulator:
 
         reschedule(marking, marking)
 
-        # Accumulators.
+        # Accumulators.  Batch edges are derived from the *integer*
+        # batch index (edge i = warmup + (i+1) * batch_length, with the
+        # final edge pinned to the horizon), never by repeated addition:
+        # incremental ``edge += batch_length`` drifts on long horizons,
+        # and the drift both misplaces boundaries and leaves the final
+        # partial batch normalised by the wrong width.
         reward_totals = {name: 0.0 for name in rewards}
         batch_totals: Dict[str, List[float]] = {name: [] for name in rewards}
         batch_current = {name: 0.0 for name in rewards}
-        batch_edge = warmup + batch_length
+        batch_index = 0
         occupancy: Dict[Marking, float] = {}
 
+        def edge_of(index: int) -> float:
+            """End of 0-based batch ``index``."""
+            if index + 1 >= batches:
+                return horizon
+            return warmup + (index + 1) * batch_length
+
+        def close_batch() -> None:
+            nonlocal batch_index
+            start_edge = warmup if batch_index == 0 else edge_of(batch_index - 1)
+            width = edge_of(batch_index) - start_edge
+            for name in rewards:
+                batch_totals[name].append(batch_current[name] / width)
+                batch_current[name] = 0.0
+            batch_index += 1
+
         def accumulate(start: float, end: float) -> None:
-            nonlocal batch_edge
             if end <= warmup:
                 return
             start = max(start, warmup)
@@ -193,17 +215,15 @@ class SANSimulator:
             # Split the span across batch boundaries.
             cursor = start
             while cursor < end:
+                batch_edge = edge_of(batch_index)
                 edge = min(end, batch_edge)
                 width = edge - cursor
                 for name, value in values.items():
                     reward_totals[name] += value * width
                     batch_current[name] += value * width
                 cursor = edge
-                if math.isclose(cursor, batch_edge, abs_tol=1e-12) and cursor < horizon:
-                    for name in rewards:
-                        batch_totals[name].append(batch_current[name] / batch_length)
-                        batch_current[name] = 0.0
-                    batch_edge += batch_length
+                if cursor == batch_edge and batch_index < batches:
+                    close_batch()
 
         while heap:
             fire_time, seq, name = heapq.heappop(heap)
@@ -227,23 +247,28 @@ class SANSimulator:
             reschedule(previous, marking)
 
         accumulate(now, horizon)
-        # Close the final batch if it was fully covered.
-        for name in rewards:
-            if batch_current[name] != 0.0 or len(batch_totals[name]) < batches:
-                batch_totals[name].append(batch_current[name] / batch_length)
-                batch_current[name] = 0.0
+        # The final accumulate call ends exactly at the horizon, which
+        # is the last batch edge, so normally every batch is already
+        # closed; the guard covers the degenerate case of the last
+        # event landing exactly on the horizon with nothing after it.
+        while batch_index < batches:
+            close_batch()
 
         observed = horizon - warmup
         estimates: Dict[str, RewardEstimate] = {}
         for name in rewards:
-            series = np.array(batch_totals[name][:batches])
+            series = np.array(batch_totals[name])
             mean = reward_totals[name] / observed
             if len(series) > 1:
                 half_width = 1.96 * float(series.std(ddof=1)) / math.sqrt(len(series))
             else:
                 half_width = math.inf
             estimates[name] = RewardEstimate(
-                name=name, mean=mean, half_width=half_width, batches=len(series)
+                name=name,
+                mean=mean,
+                half_width=half_width,
+                batches=len(series),
+                batch_means=tuple(batch_totals[name]),
             )
         total_occupancy = sum(occupancy.values())
         if total_occupancy > 0:

@@ -56,6 +56,13 @@ class TestDelivery:
         with pytest.raises(ProtocolError):
             network.send("a", "ghost", "x")
 
+    def test_unknown_source_rejected(self, net):
+        """Regression: a typo'd source used to be accepted silently,
+        bypassing the sender-side fail-silence check forever."""
+        _, network, _ = net
+        with pytest.raises(ProtocolError):
+            network.send("ghost", "b", "x")
+
     def test_duplicate_registration_rejected(self, net):
         _, network, _ = net
         with pytest.raises(ConfigurationError):
@@ -110,3 +117,148 @@ class TestFailSilence:
         _, network, _ = net
         with pytest.raises(ConfigurationError):
             network.fail("ghost")
+
+
+class TestRestore:
+    def test_restore_mid_flight_delivers(self, net):
+        """Fail-silence is evaluated at delivery time, so a node
+        repaired while the message is still in flight receives it."""
+        simulator, network, inboxes = net
+        network.fail("b")
+        network.send("a", "b", "x", delay=1.0)
+        simulator.schedule(0.5, network.restore, "b")
+        simulator.run()
+        assert inboxes["b"] == [("a", "x")]
+
+    def test_restore_does_not_resurrect_dropped_sends(self, net):
+        """A message sent by a failed node is gone; repairing the
+        sender later cannot bring it back."""
+        simulator, network, inboxes = net
+        network.fail("a")
+        network.send("a", "b", "x")
+        network.restore("a")
+        simulator.run()
+        assert inboxes["b"] == []
+        assert network.dropped_count() == 1
+
+    def test_restore_unknown_or_healthy_node_is_noop(self, net):
+        _, network, _ = net
+        network.restore("a")  # healthy: nothing to undo
+        network.restore("ghost")  # unknown: discard semantics
+        assert not network.is_failed("a")
+
+    def test_fail_restore_fail_cycle(self, net):
+        simulator, network, inboxes = net
+        network.fail("b")
+        network.restore("b")
+        network.fail("b")
+        network.send("a", "b", "x")
+        simulator.run()
+        assert inboxes["b"] == []
+
+
+class TestLoss:
+    def rng(self):
+        import numpy as np
+
+        return np.random.default_rng(0)
+
+    def test_total_blackout_accepted_and_drops_everything(self):
+        """Regression: loss_probability == 1.0 used to be rejected,
+        blocking total-blackout injection."""
+        simulator = Simulator()
+        network = Network(simulator, loss_probability=1.0, rng=self.rng())
+        got = []
+        network.register("a", lambda s, m: got.append(m))
+        network.register("b", lambda s, m: got.append(m))
+        for _ in range(5):
+            network.send("a", "b", "x")
+        simulator.run()
+        assert got == []
+        assert network.dropped_count() == 5
+
+    def test_total_blackout_does_not_draw_from_rng(self):
+        """p >= 1 drops deterministically so blackout windows do not
+        perturb the random stream of surviving traffic."""
+        simulator = Simulator()
+        rng = self.rng()
+        network = Network(simulator, loss_probability=1.0, rng=rng)
+        network.register("a", lambda s, m: None)
+        network.register("b", lambda s, m: None)
+        before = rng.bit_generator.state
+        network.send("a", "b", "x")
+        assert rng.bit_generator.state == before
+
+    def test_loss_fn_filters_per_link(self):
+        simulator = Simulator()
+        network = Network(
+            simulator,
+            loss_fn=lambda now, s, d: 1.0 if d == "b" else 0.0,
+            rng=self.rng(),
+        )
+        inboxes = {"b": [], "c": []}
+        for name in ("a", "b", "c"):
+            network.register(
+                name, lambda s, m, name=name: inboxes.get(name, []).append(m)
+            )
+        network.send("a", "b", "x")
+        network.send("a", "c", "y")
+        simulator.run()
+        assert inboxes["b"] == []
+        assert inboxes["c"] == ["y"]
+
+    def test_loss_fn_bad_probability_raises(self):
+        simulator = Simulator()
+        network = Network(simulator, loss_fn=lambda now, s, d: 1.5, rng=self.rng())
+        network.register("a", lambda s, m: None)
+        network.register("b", lambda s, m: None)
+        with pytest.raises(ConfigurationError):
+            network.send("a", "b", "x")
+
+    def test_loss_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            Network(Simulator(), loss_probability=0.5)
+        with pytest.raises(ConfigurationError):
+            Network(Simulator(), loss_fn=lambda now, s, d: 0.0)
+
+    def test_loss_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(Simulator(), loss_probability=1.1, rng=self.rng())
+        with pytest.raises(ConfigurationError):
+            Network(Simulator(), loss_probability=-0.1, rng=self.rng())
+
+
+class TestDeliveryTimerTieBreak:
+    """Deliveries are scheduled with ``priority=-1`` so a message
+    arriving exactly at a protocol timer's deadline is processed first
+    (the ``desim/kernel.py`` contract the done-timeout relies on)."""
+
+    def test_delivery_beats_timer_at_equal_timestamp(self, net):
+        simulator, network, inboxes = net
+        order = []
+        network.register("c", lambda s, m: order.append("delivery"))
+        simulator.schedule(0.5, lambda: order.append("timer"))
+        network.send("a", "c", "x")  # default delay 0.5: same timestamp
+        simulator.run()
+        assert order == ["delivery", "timer"]
+
+    def test_timer_failing_node_at_delivery_time_loses_the_race(self, net):
+        """A fault injected by a timer at exactly the delivery time
+        takes effect only after the delivery: the message gets through."""
+        simulator, network, inboxes = net
+        simulator.schedule(0.5, network.fail, "b")
+        network.send("a", "b", "x")
+        simulator.run()
+        assert inboxes["b"] == [("a", "x")]
+        assert network.is_failed("b")
+
+    def test_timer_restoring_node_at_delivery_time_is_too_late(self, net):
+        """Symmetrically, a repair scheduled at exactly the delivery
+        time happens after the delivery attempt: the message is lost."""
+        simulator, network, inboxes = net
+        network.fail("b")
+        simulator.schedule(0.5, network.restore, "b")
+        network.send("a", "b", "x")
+        simulator.run()
+        assert inboxes["b"] == []
+        assert not network.is_failed("b")

@@ -62,6 +62,24 @@ class TestRobustness:
         for dist in models.values():
             assert dist.mean() == pytest.approx(5.0)
 
+    def test_duration_models_have_documented_cv2(self):
+        """The three models are distinguished by their squared
+        coefficient of variation: 1 (exponential), 17/9 (the bursty
+        hyperexponential -- regression: this was once misdocumented as
+        2.12) and 0 (deterministic)."""
+        documented = {
+            "exponential": 1.0,
+            "hyperexponential": robustness_exp.HYPEREXPONENTIAL_CV2,
+            "deterministic": 0.0,
+        }
+        assert robustness_exp.HYPEREXPONENTIAL_CV2 == pytest.approx(17.0 / 9.0)
+        for mean in (1.0, 5.0):
+            models = robustness_exp.duration_models(mean)
+            assert set(models) == set(documented)
+            for label, dist in models.items():
+                cv2 = dist.variance() / dist.mean() ** 2
+                assert cv2 == pytest.approx(documented[label]), label
+
 
 class TestMultiplane:
     def test_more_planes_monotone_improvement(self):

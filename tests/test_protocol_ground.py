@@ -31,6 +31,10 @@ def ground():
     simulator = Simulator()
     network = Network(simulator)
     station = GroundStation(network)
+    # The tests send on behalf of satellites; the network rejects
+    # unregistered sources (they would bypass fail-silence checks).
+    for name in ("S1", "S2"):
+        network.register(name, lambda src, msg: None)
     return simulator, network, station
 
 

@@ -7,6 +7,8 @@ import pytest
 from repro.core.config import EvaluationParams
 from repro.core.qos import QoSLevel
 from repro.core.schemes import Scheme
+from repro.errors import ConfigurationError
+from repro.geometry.intervals import CoverageKind
 from repro.protocol import CenterlineScenario, MessagingVariant
 from repro.protocol.messages import AlertMessage, CoordinationDone, CoordinationRequest
 
@@ -233,6 +235,63 @@ class TestFailSilence:
             fail_silent={"S1": 0.0},
         ).run()
         assert not outcome.all_alerts
+
+
+class TestOnsetBoundary:
+    """The onset position lives on the half-open cycle ``[0, L1)``:
+    ``L1`` is the same physical point as 0 and must wrap, not clamp
+    (regression: it used to be accepted verbatim, placing the onset on
+    a coordinate ``interval_at`` never resolves to the alpha start)."""
+
+    def test_onset_at_l1_wraps_to_cycle_start(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        scenario = CenterlineScenario(
+            geometry, params, onset_position=geometry.l1, signal_duration=1.0
+        )
+        assert scenario.onset_position == 0.0
+        assert scenario.covered_at_onset()
+        interval = scenario.cycle.interval_at(scenario.onset_position)
+        assert interval.kind is CoverageKind.SINGLE
+        assert interval.start == 0.0
+
+    def test_interval_at_wrap_point_is_alpha(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        scenario = underlap(params, onset_position=0.0, signal_duration=1.0)
+        assert (
+            scenario.cycle.interval_at(geometry.l1).kind is CoverageKind.SINGLE
+        )
+
+    def test_onset_at_l1_runs_like_onset_zero(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        wrapped = CenterlineScenario(
+            geometry, params, onset_position=geometry.l1,
+            signal_duration=2.0, seed=21,
+        ).run()
+        direct = CenterlineScenario(
+            geometry, params, onset_position=0.0,
+            signal_duration=2.0, seed=21,
+        ).run()
+        assert wrapped.achieved_level is direct.achieved_level
+        assert wrapped.detection_time == direct.detection_time
+
+    def test_onset_beyond_l1_rejected(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        with pytest.raises(ConfigurationError):
+            CenterlineScenario(
+                geometry, params, onset_position=geometry.l1 + 0.1,
+                signal_duration=1.0,
+            )
+        with pytest.raises(ConfigurationError):
+            CenterlineScenario(
+                geometry, params, onset_position=-0.1, signal_duration=1.0
+            )
+
+    def test_onset_at_l1_wraps_on_overlapping_plane_too(self, params):
+        geometry = params.constellation.plane_geometry(12)
+        scenario = CenterlineScenario(
+            geometry, params, onset_position=geometry.l1, signal_duration=1.0
+        )
+        assert scenario.onset_position == 0.0
 
 
 class TestTimelinessProperty:

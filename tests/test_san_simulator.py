@@ -83,6 +83,60 @@ class TestSteadyStateEstimation:
         assert result.events == pytest.approx(200, abs=6)  # 2 events / 3 time
 
 
+class TestBatchEdges:
+    """Batch edges are derived from integer batch indices (regression:
+    ``batch_edge += batch_length`` drifted over long horizons and the
+    final partial batch was normalised by the full batch length)."""
+
+    def test_batch_means_average_to_overall_mean(self):
+        """With an inexactly-representable batch length (0.1) over many
+        batches -- the drift-prone regime -- each batch is still
+        normalised by its true width, so the batch means average back
+        to the overall time average to within 1e-12."""
+        simulator = SANSimulator(on_off_model(0.5, 2.0), seed=31)
+        result = simulator.run(
+            6100.0,
+            warmup=100.0,
+            rewards={"up": lambda m: float(m["up"])},
+            batches=60000,  # batch length 0.1
+        )
+        estimate = result.rewards["up"]
+        assert estimate.batches == 60000
+        assert len(estimate.batch_means) == 60000
+        average = sum(estimate.batch_means) / len(estimate.batch_means)
+        assert average == pytest.approx(estimate.mean, abs=1e-12)
+
+    def test_batch_means_average_exactly_with_exact_widths(self):
+        simulator = SANSimulator(on_off_model(0.5, 2.0), seed=7)
+        result = simulator.run(
+            5000.0,
+            warmup=1000.0,
+            rewards={"up": lambda m: float(m["up"])},
+            batches=8,  # batch length 500, exactly representable
+        )
+        estimate = result.rewards["up"]
+        average = sum(estimate.batch_means) / len(estimate.batch_means)
+        assert average == pytest.approx(estimate.mean, abs=1e-12)
+
+    def test_every_batch_is_closed_even_when_events_stop_early(self):
+        """An absorbing model goes quiet long before the horizon; the
+        remaining batches must still be emitted (and normalised by
+        their own widths, giving zero-activity batches a clean 0)."""
+        drain = TimedActivity.exponential("drain", 1.0, input_arcs={"p": 1})
+        model = SANModel([Place("p", 3)], [drain])
+        simulator = SANSimulator(model, seed=2)
+        result = simulator.run(
+            100.0,
+            rewards={"tokens": lambda m: float(m["p"])},
+            batches=10,
+        )
+        estimate = result.rewards["tokens"]
+        assert estimate.batches == 10
+        assert estimate.batch_means[-1] == 0.0  # all tokens long drained
+        average = sum(estimate.batch_means) / len(estimate.batch_means)
+        assert average == pytest.approx(estimate.mean, abs=1e-12)
+
+
 class TestMechanics:
     def test_instantaneous_stabilisation(self):
         feed = TimedActivity.exponential(
