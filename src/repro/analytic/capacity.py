@@ -46,24 +46,38 @@ The numerical paths are **memoized**: ``P(k)`` depends only on the
 frozen :class:`CapacityModelConfig` and the stage count, so sweeps over
 ``tau`` / ``mu`` (and repeated figure regenerations) reuse one solve
 per distinct key.  Both the final distributions and the intermediate
-reachability/unfold structures are cached in module-level
+structures are cached in module-level
 :class:`~repro.analytic.solve_cache.LRUSolveCache` instances;
 :func:`capacity_cache_stats` exposes hit/miss counters for tests and
 benchmarks, :func:`capacity_caches_disabled` restores the seed's
 solve-per-call behaviour for baseline measurements.
+
+Sweeps varying a *rate* (failure rate ``lambda``, the period ``phi``,
+the replacement latency) additionally exploit the **topology/rate
+split** (:mod:`repro.san.assembled`): the expensive reachability +
+unfolding structure is cached per *topology*
+(:func:`assemble_capacity_topology`), each parameter point re-rates the
+arrays in microseconds, and successive steady states on one topology
+are warm-started iterative solves seeded from the previous point's
+``pi`` (with automatic fallback to the direct factorisation).
+:func:`capacity_stage_timings` and :func:`capacity_solver_stats`
+expose the per-stage costs and solve-method counters.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.analytic.distributions import Deterministic, Exponential
 from repro.analytic.solve_cache import CacheStats, LRUSolveCache
 from repro.core.config import EvaluationParams
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ModelError
 from repro.san import (
+    AssembledChain,
     Case,
     InputGate,
     InstantaneousActivity,
@@ -71,7 +85,9 @@ from repro.san import (
     Place,
     SANModel,
     SANSimulator,
+    SteadyStateWarmStart,
     TimedActivity,
+    assemble,
     from_state_space,
     generate,
     steady_state_marking_distribution,
@@ -80,6 +96,7 @@ from repro.san import (
 
 __all__ = [
     "CapacityModelConfig",
+    "assemble_capacity_topology",
     "build_capacity_san",
     "capacity_distribution",
     "capacity_distribution_simulated",
@@ -88,6 +105,8 @@ __all__ = [
     "capacity_cache_stats",
     "capacity_cache_snapshot",
     "capacity_caches_disabled",
+    "capacity_solver_stats",
+    "capacity_stage_timings",
     "clear_capacity_caches",
     "configure_capacity_caches",
     "seed_capacity_cache",
@@ -278,42 +297,119 @@ def build_capacity_san(
 # Memoization layer
 # ----------------------------------------------------------------------
 # Final P(k) dictionaries are tiny; the unfolded chains are not, so the
-# structural cache is kept small.  Distribution keys are
-# (config, stages, variant); unfold keys are (config, stages).
+# structural caches are kept small.  Distribution keys are
+# (config, stages, variant); unfold keys are (config, stages); assemble
+# keys are topology-only (_topology_key) so every rate point of a sweep
+# shares one structure.
 _DISTRIBUTION_CACHE = LRUSolveCache(maxsize=256, name="capacity-distribution")
 _UNFOLD_CACHE = LRUSolveCache(maxsize=8, name="capacity-unfold")
+_ASSEMBLE_CACHE = LRUSolveCache(maxsize=8, name="capacity-assemble")
 _CACHING_ENABLED = True
+
+# Per-stage wall-clock accumulators (seconds) and solver counters for
+# this process.  The experiment engine reports run-level deltas of
+# these; benchmarks and tests read them directly.
+_STATS_LOCK = threading.Lock()
+_STAGE_TIMINGS = {"assemble": 0.0, "rerate": 0.0, "solve": 0.0}
+_SOLVER_STATS = {
+    "direct": 0,
+    "iterative": 0,
+    "warm_started": 0,
+    "gmres_iterations": 0,
+    "solver_fallbacks": 0,
+    "structure_fallbacks": 0,
+}
+
+
+@contextmanager
+def _timed(stage: str) -> Iterator[None]:
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        with _STATS_LOCK:
+            _STAGE_TIMINGS[stage] += elapsed
+
+
+def capacity_stage_timings() -> Dict[str, float]:
+    """Cumulative seconds this process spent in the three solver
+    stages: ``assemble`` (reachability + array-native unfolding),
+    ``rerate`` (rate evaluation + CTMC build) and ``solve``
+    (steady-state linear algebra)."""
+    with _STATS_LOCK:
+        return dict(_STAGE_TIMINGS)
+
+
+def capacity_solver_stats() -> Dict[str, int]:
+    """Counters of how capacity steady states were obtained.
+
+    ``direct`` / ``iterative`` count solve methods, ``warm_started``
+    the solves seeded from a previous point, ``gmres_iterations`` the
+    total inner iterations, ``solver_fallbacks`` iterative attempts
+    that fell back to direct, and ``structure_fallbacks`` re-rate
+    attempts rejected by topology validation (full rebuild taken).
+    """
+    with _STATS_LOCK:
+        return dict(_SOLVER_STATS)
+
+
+def _note_solution(solution) -> None:
+    with _STATS_LOCK:
+        if solution.method == "gmres":
+            _SOLVER_STATS["iterative"] += 1
+        else:
+            _SOLVER_STATS["direct"] += 1
+        if solution.warm_started:
+            _SOLVER_STATS["warm_started"] += 1
+        _SOLVER_STATS["gmres_iterations"] += solution.iterations
+        if solution.fallback is not None:
+            _SOLVER_STATS["solver_fallbacks"] += 1
 
 
 def capacity_cache_stats() -> Dict[str, CacheStats]:
-    """Hit/miss/eviction counters of both capacity caches.
+    """Hit/miss/eviction counters of the capacity caches.
 
     ``distribution`` misses count actual steady-state solves, the
     quantity the experiment engine's tests pin down ("a 9-point tau
-    sweep performs exactly one capacity solve").
+    sweep performs exactly one capacity solve"); ``assemble`` misses
+    count structure builds -- one per distinct topology, however many
+    rate points are solved on it.
     """
     return {
         "distribution": _DISTRIBUTION_CACHE.stats(),
         "unfold": _UNFOLD_CACHE.stats(),
+        "assemble": _ASSEMBLE_CACHE.stats(),
     }
 
 
 def clear_capacity_caches(*, reset_stats: bool = False) -> None:
-    """Drop all cached solves (counters survive unless asked not to)."""
+    """Drop all cached solves, including assembled topologies and their
+    warm-start state (counters survive unless asked not to)."""
     _DISTRIBUTION_CACHE.clear(reset_stats=reset_stats)
     _UNFOLD_CACHE.clear(reset_stats=reset_stats)
+    _ASSEMBLE_CACHE.clear(reset_stats=reset_stats)
+    if reset_stats:
+        with _STATS_LOCK:
+            for key in _STAGE_TIMINGS:
+                _STAGE_TIMINGS[key] = 0.0
+            for key in _SOLVER_STATS:
+                _SOLVER_STATS[key] = 0
 
 
 def configure_capacity_caches(
     *,
     distribution_maxsize: Optional[int] = None,
     unfold_maxsize: Optional[int] = None,
+    assemble_maxsize: Optional[int] = None,
 ) -> None:
     """Resize the caches (evicting LRU entries when shrinking)."""
     if distribution_maxsize is not None:
         _DISTRIBUTION_CACHE.resize(distribution_maxsize)
     if unfold_maxsize is not None:
         _UNFOLD_CACHE.resize(unfold_maxsize)
+    if assemble_maxsize is not None:
+        _ASSEMBLE_CACHE.resize(assemble_maxsize)
 
 
 def capacity_cache_snapshot():
@@ -349,15 +445,69 @@ def _memoized(cache: LRUSolveCache, key, factory):
 
 def _unfolded_chain(config: CapacityModelConfig, stages: int):
     """Cached (model, space, chain) triple for the deterministic-timer
-    SAN -- shared by the steady-state and transient solution paths."""
+    SAN -- shared by the transient path and the full-rebuild fallback."""
 
     def build():
-        model = build_capacity_san(config)
-        space = generate(model)
-        chain = unfold(space, stages=stages)
+        with _timed("assemble"):
+            model = build_capacity_san(config)
+            space = generate(model)
+            chain = unfold(space, stages=stages)
         return model, space, chain
 
     return _memoized(_UNFOLD_CACHE, (config, stages), build)
+
+
+# ----------------------------------------------------------------------
+# Topology/rate split
+# ----------------------------------------------------------------------
+def _topology_key(config: CapacityModelConfig, stages: int) -> Tuple:
+    """The fields that determine the SAN's *structure*.  The three rate
+    parameters (failure rate, scheduled period, replacement latency)
+    only scale transitions, so every point of a rate sweep maps to the
+    same key and shares one assembled chain."""
+    return (
+        config.full_capacity,
+        config.in_orbit_spares,
+        config.threshold,
+        stages,
+    )
+
+
+class _AssembledTopology:
+    """One cached topology: the assembled chain plus the warm-start
+    state threaded between successive solves on it."""
+
+    __slots__ = ("chain", "lock", "warm_start")
+
+    def __init__(self, chain: AssembledChain):
+        self.chain = chain
+        self.lock = threading.Lock()
+        self.warm_start: Optional[SteadyStateWarmStart] = None
+
+
+def _assembled_topology(
+    config: CapacityModelConfig, stages: int
+) -> _AssembledTopology:
+    def build() -> _AssembledTopology:
+        with _timed("assemble"):
+            model = build_capacity_san(config)
+            space = generate(model)
+            chain = assemble(space, stages=stages)
+        return _AssembledTopology(chain)
+
+    return _memoized(_ASSEMBLE_CACHE, _topology_key(config, stages), build)
+
+
+def assemble_capacity_topology(
+    config: CapacityModelConfig, *, stages: int = 24
+) -> AssembledChain:
+    """The re-ratable assembled chain for ``config``'s topology.
+
+    Cached on the topology fields only (see :func:`_topology_key`);
+    sweeps varying a rate reuse one structure.  The experiment engine
+    calls this up front (``preassemble``) so workers inherit a built
+    topology."""
+    return _assembled_topology(config, stages).chain
 
 
 def _marking_capacity_distribution(marking_probs, model: SANModel) -> Dict[int, float]:
@@ -367,6 +517,20 @@ def _marking_capacity_distribution(marking_probs, model: SANModel) -> Dict[int, 
         k = marking[position]
         result[k] = result.get(k, 0.0) + probability
     return {k: result[k] for k in sorted(result)}
+
+
+def _solve_full_rebuild(
+    config: CapacityModelConfig, stages: int
+) -> Dict[int, float]:
+    """The pre-split pipeline: regenerate, unfold and solve directly.
+    Kept as the fallback when topology validation rejects a re-rate."""
+    model, space, chain = _unfolded_chain(config, stages)
+    with _timed("solve"):
+        by_marking_index = chain.steady_state_markings()
+    marking_probs = {
+        space.markings[idx]: prob for idx, prob in by_marking_index.items()
+    }
+    return _marking_capacity_distribution(marking_probs, model)
 
 
 def capacity_distribution(
@@ -380,17 +544,46 @@ def capacity_distribution(
     benchmark).
 
     Memoized on ``(config, stages)``: repeated calls return the cached
-    distribution without re-running the SAN pipeline.
+    distribution without re-running the SAN pipeline.  Distinct configs
+    sharing a topology (rate sweeps) share one assembled structure and
+    only re-rate + solve per point; successive solves on a topology
+    warm-start from the previous stationary vector
+    (:meth:`repro.san.ctmc.CTMC.steady_state_solve`), falling back to
+    the full rebuild path on any structural mismatch.
     """
 
     def solve() -> Dict[int, float]:
-        model, space, chain = _unfolded_chain(config, stages)
-        by_marking_index = chain.steady_state_markings()
-        marking_probs = {
-            space.markings[idx]: prob
-            for idx, prob in by_marking_index.items()
-        }
-        return _marking_capacity_distribution(marking_probs, model)
+        entry = _assembled_topology(config, stages)
+        chain = entry.chain
+        model = build_capacity_san(config)
+        try:
+            with _timed("rerate"):
+                ctmc = chain.rerate(model)
+        except ModelError:
+            # The new config changed the structure (should not happen
+            # for capacity configs -- the topology key covers every
+            # structural field -- but re-rating must never be wrong).
+            with _STATS_LOCK:
+                _SOLVER_STATS["structure_fallbacks"] += 1
+            return _solve_full_rebuild(config, stages)
+        with _timed("solve"):
+            with entry.lock:
+                warm_start = entry.warm_start if _CACHING_ENABLED else None
+                solution = ctmc.steady_state_solve(
+                    method="auto",
+                    warm_start=warm_start,
+                    prepare_warm_start=_CACHING_ENABLED,
+                )
+                if _CACHING_ENABLED and solution.warm_start is not None:
+                    entry.warm_start = solution.warm_start
+            _note_solution(solution)
+        marginals = chain.marking_marginals(solution.pi)
+        position = model.place_index.position("active")
+        result: Dict[int, float] = {}
+        for marking, probability in zip(chain.space.markings, marginals.tolist()):
+            k = marking[position]
+            result[k] = result.get(k, 0.0) + probability
+        return {k: result[k] for k in sorted(result)}
 
     result = _memoized(_DISTRIBUTION_CACHE, (config, stages, "erlang"), solve)
     return dict(result)

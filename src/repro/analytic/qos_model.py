@@ -94,8 +94,11 @@ def window_success_integral(
 
     # First part: survival of the signal over the wait.  expm1 keeps
     # the difference accurate for very small mu (where exp(-mu x)
-    # values are all ~1 and would cancel catastrophically).
-    if mu == 0.0:
+    # values are all ~1 and would cancel catastrophically).  Once
+    # mu * wait_hi itself underflows toward the subnormal range, the
+    # expm1 difference loses all relative accuracy while dividing by mu
+    # amplifies it, so take the mu -> 0 limit (error O(mu * wait_hi)).
+    if mu == 0.0 or mu * wait_hi < 1e-280:
         part_survive = wait_hi - wait_lo
     else:
         part_survive = (

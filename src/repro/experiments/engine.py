@@ -22,10 +22,18 @@ both facts:
   completion order, so parallel and sequential runs produce identical
   :class:`~repro.experiments.report.ExperimentResult` tables.
 
+* **Shared structure**: configs named in ``preassemble`` have their
+  capacity *topology* assembled once up front
+  (:func:`~repro.analytic.capacity.assemble_capacity_topology`); the
+  per-point solves then re-rate that structure instead of regenerating
+  the state space, and warm-start each steady-state solve from the
+  previous point's solution.
+
 Per-stage wall-clock timings (``capacity_presolve``, ``rows``,
-``total``) are recorded into ``ExperimentResult.timings`` so the
-benchmarks can attribute speedups.  See ``docs/SAN_ENGINE.md`` for the
-user guide.
+``total``, plus the capacity pipeline's ``assemble``/``rerate``/
+``solve`` deltas) are recorded into ``ExperimentResult.timings`` so
+the benchmarks can attribute speedups.  See ``docs/SAN_ENGINE.md`` for
+the user guide.
 """
 
 from __future__ import annotations
@@ -47,8 +55,10 @@ from typing import (
 
 from repro.analytic.capacity import (
     CapacityModelConfig,
+    assemble_capacity_topology,
     capacity_cache_snapshot,
     capacity_distribution,
+    capacity_stage_timings,
     seed_capacity_cache,
 )
 from repro.errors import ConfigurationError
@@ -108,6 +118,24 @@ class SweepRunner:
     # Shared capacity solves
     # ------------------------------------------------------------------
     @staticmethod
+    def preassemble_capacity(
+        keys: Iterable[Tuple[CapacityModelConfig, int]],
+    ) -> int:
+        """Assemble each distinct capacity *topology* once (memoized).
+
+        Rate sweeps share one assembled structure across all their
+        points; assembling it up front means every point -- including
+        the first -- goes through the cheap re-rate path.  Configs that
+        differ only in rate parameters collapse onto one topology key,
+        so passing every grid config is fine.  Returns the number of
+        distinct ``(config, stages)`` keys passed (not topologies).
+        """
+        distinct = list(dict.fromkeys(keys))
+        for config, stages in distinct:
+            assemble_capacity_topology(config, stages=stages)
+        return len(distinct)
+
+    @staticmethod
     def presolve_capacity(
         keys: Iterable[Tuple[CapacityModelConfig, int]],
     ) -> int:
@@ -165,15 +193,33 @@ class SweepRunner:
         points: Sequence[Point],
         notes: Sequence[str] = (),
         presolve: Iterable[Tuple[CapacityModelConfig, int]] = (),
+        preassemble: Iterable[Tuple[CapacityModelConfig, int]] = (),
     ) -> ExperimentResult:
         """Presolve shared configs, evaluate the grid, and package the
-        rows -- with stage timings -- as an :class:`ExperimentResult`."""
+        rows -- with stage timings -- as an :class:`ExperimentResult`.
+
+        ``preassemble`` names configs whose *topology* should be
+        assembled before solving starts (rate sweeps: pass one config
+        per distinct topology).  The assembled structure is then
+        re-rated per point instead of regenerated.
+
+        The ``assemble``/``rerate``/``solve`` timings are deltas of the
+        capacity module's stage accumulators across the run, so they
+        only attribute work done in the parent process; with
+        ``n_jobs > 1`` the per-point solves happen in workers and those
+        stages undercount (``rows`` still captures the wall clock).
+        """
         timings: Dict[str, float] = {}
+        before = capacity_stage_timings()
         with _stage(timings, "total"):
             with _stage(timings, "capacity_presolve"):
+                self.preassemble_capacity(preassemble)
                 self.presolve_capacity(presolve)
             with _stage(timings, "rows"):
                 rows = self.map_rows(row_fn, points)
+        after = capacity_stage_timings()
+        for stage in ("assemble", "rerate", "solve"):
+            timings[stage] = after.get(stage, 0.0) - before.get(stage, 0.0)
         return ExperimentResult(
             experiment_id=experiment_id,
             title=title,

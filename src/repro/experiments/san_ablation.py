@@ -89,6 +89,9 @@ def run(
         {"variant": "erlang", "stages": stages, **shared}
         for stages in stage_grid
     )
+    # Stage counts change the *topology* (the Erlang unfolding), so
+    # each distinct stage count is its own preassembled structure.
+    preassemble = [(config, stages) for stages in dict.fromkeys(stage_grid)]
     return SweepRunner(n_jobs=n_jobs).run(
         experiment_id="ablation-phases",
         title=(
@@ -98,6 +101,7 @@ def run(
         headers=headers,
         row_fn=_ablation_row,
         points=points,
+        preassemble=preassemble,
         notes=[
             "stages=1 is a plain exponential of equal mean; the gap to the "
             "high-stage solution is the price of lacking deterministic-"

@@ -11,17 +11,26 @@ probabilities ``P(k)``:
 * :mod:`repro.san.ctmc` -- steady-state and transient CTMC solvers;
 * :mod:`repro.san.phase_type` -- Erlang unfolding of deterministic
   activities (UltraSAN supported these natively);
+* :mod:`repro.san.assembled` -- the topology/rate split: array-native
+  unfolded chains that re-rate without regeneration;
 * :mod:`repro.san.simulator` -- discrete-event execution with exact
   deterministic timers, for cross-checking and large models;
 * :mod:`repro.san.reward` -- UltraSAN-style rate rewards.
 """
 
+from repro.san.assembled import AssembledChain, RateSlot, assemble
 from repro.san.compose import (
     ReplicatedChain,
     lumped_state_count,
     replicate_lumped,
 )
-from repro.san.ctmc import CTMC, from_state_space, marking_probabilities
+from repro.san.ctmc import (
+    CTMC,
+    SteadyStateSolution,
+    SteadyStateWarmStart,
+    from_state_space,
+    marking_probabilities,
+)
 from repro.san.marking import Marking, MarkingView, PlaceIndex
 from repro.san.model import (
     Case,
@@ -48,6 +57,7 @@ from repro.san.reward import (
 from repro.san.simulator import RewardEstimate, SANSimulator, SimulationResult
 
 __all__ = [
+    "AssembledChain",
     "CTMC",
     "Case",
     "GeneralTransition",
@@ -59,14 +69,18 @@ __all__ = [
     "OutputGate",
     "Place",
     "PlaceIndex",
+    "RateSlot",
     "ReplicatedChain",
     "RewardEstimate",
     "SANModel",
     "SANSimulator",
     "SimulationResult",
     "StateSpace",
+    "SteadyStateSolution",
+    "SteadyStateWarmStart",
     "TimedActivity",
     "UnfoldedChain",
+    "assemble",
     "expected_reward",
     "from_state_space",
     "generate",

@@ -15,34 +15,31 @@ Unfolding semantics match the engine's execution rules: an activity
 keeps its accumulated stages while it remains enabled across other
 completions (preemptive-resume) and loses them when it becomes disabled
 (preemptive-restart).
+
+Since the topology/rate split, the BFS itself lives in
+:mod:`repro.san.assembled` (integer-coded states, re-ratable transition
+arrays); :func:`unfold` assembles and re-rates in one step, returning
+the familiar tuple-based :class:`UnfoldedChain` view.  Sweep-style
+callers that solve one topology at many rate points should hold the
+:class:`~repro.san.assembled.AssembledChain` directly and call
+``rerate`` per point.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analytic.distributions import Deterministic, Erlang, Exponential
-from repro.errors import ModelError, StateSpaceExplosionError
+from repro.errors import ModelError
+from repro.san.assembled import AssembledChain, assemble
 from repro.san.ctmc import CTMC
-from repro.san.reachability import GeneralTransition, StateSpace
+from repro.san.reachability import StateSpace
 
 __all__ = ["UnfoldedChain", "unfold"]
 
 #: An augmented state: (tangible-marking index, ((activity, stage), ...)).
 AugState = Tuple[int, Tuple[Tuple[str, int], ...]]
-
-
-@dataclass(frozen=True)
-class _PhaseSpec:
-    """Erlang parameters of one general activity in one source state."""
-
-    stages: int
-    rate: float
-    targets: Tuple[Tuple[float, int], ...]
 
 
 class UnfoldedChain:
@@ -54,10 +51,16 @@ class UnfoldedChain:
         ctmc: CTMC,
         states: List[AugState],
         space: StateSpace,
+        *,
+        assembled: Optional[AssembledChain] = None,
     ):
         self.ctmc = ctmc
         self.states = states
         self.space = space
+        #: The array-native structure this chain was built from, when
+        #: it came through :func:`unfold` (used for fast marginals).
+        self.assembled = assembled
+        self._marking_of_state: Optional[np.ndarray] = None
 
     def steady_state_markings(self) -> Dict[int, float]:
         """Stationary probability of each original tangible marking
@@ -68,45 +71,24 @@ class UnfoldedChain:
     def marginalise(self, pi: np.ndarray) -> Dict[int, float]:
         """Aggregate a distribution over augmented states onto the
         original marking indices."""
-        result: Dict[int, float] = {}
-        for aug_index, (marking_index, _stages) in enumerate(self.states):
-            result[marking_index] = result.get(marking_index, 0.0) + float(
-                pi[aug_index]
-            )
-        return result
-
-
-def _phase_spec(
-    transition: GeneralTransition, stages: int
-) -> _PhaseSpec:
-    distribution = transition.distribution
-    if isinstance(distribution, Deterministic):
-        if distribution.value <= 0:
-            raise ModelError(
-                f"activity {transition.activity!r} has zero deterministic "
-                "delay; model it as instantaneous instead"
-            )
-        return _PhaseSpec(
-            stages=stages,
-            rate=stages / distribution.value,
-            targets=transition.targets,
+        if self._marking_of_state is None:
+            if self.assembled is not None:
+                self._marking_of_state = self.assembled.marking_of_state
+            else:
+                self._marking_of_state = np.fromiter(
+                    (marking for marking, _stages in self.states),
+                    dtype=np.int64,
+                    count=len(self.states),
+                )
+        index = self._marking_of_state
+        totals = np.bincount(
+            index,
+            weights=np.asarray(pi, dtype=float),
+            minlength=len(self.space),
         )
-    if isinstance(distribution, Erlang):
-        return _PhaseSpec(
-            stages=distribution.shape,
-            rate=distribution.rate,
-            targets=transition.targets,
-        )
-    if isinstance(distribution, Exponential):  # pragma: no cover - defensive
-        raise ModelError(
-            f"activity {transition.activity!r} is exponential; it should "
-            "appear among the markovian transitions"
-        )
-    raise ModelError(
-        f"activity {transition.activity!r} has unsupported distribution "
-        f"{distribution!r}; phase-type unfolding handles Deterministic and "
-        "Erlang activities"
-    )
+        return {
+            int(marking): float(totals[marking]) for marking in np.unique(index)
+        }
 
 
 def unfold(
@@ -128,88 +110,8 @@ def unfold(
     """
     if stages < 1:
         raise ModelError(f"stages must be >= 1, got {stages}")
-
-    general_by_source = space.general_by_source()
-    specs: Dict[Tuple[int, str], _PhaseSpec] = {}
-    for source, transitions in general_by_source.items():
-        for transition in transitions:
-            specs[(source, transition.activity)] = _phase_spec(transition, stages)
-
-    markovian_by_source: Dict[int, List] = {}
-    for transition in space.markovian:
-        markovian_by_source.setdefault(transition.source, []).append(transition)
-
-    def enabled_general(marking_index: int) -> Tuple[str, ...]:
-        return tuple(
-            sorted(t.activity for t in general_by_source.get(marking_index, ()))
-        )
-
-    def stage_tuple(
-        marking_index: int, previous: Dict[str, int]
-    ) -> Tuple[Tuple[str, int], ...]:
-        """Stages for the general activities enabled in the target
-        marking: kept if previously running, zero if newly enabled."""
-        return tuple(
-            (name, previous.get(name, 0)) for name in enabled_general(marking_index)
-        )
-
-    states: List[AugState] = []
-    index: Dict[AugState, int] = {}
-
-    def intern(state: AugState) -> int:
-        if state in index:
-            return index[state]
-        if len(states) >= max_states:
-            raise StateSpaceExplosionError(max_states)
-        index[state] = len(states)
-        states.append(state)
-        return index[state]
-
-    initial_distribution: List[Tuple[float, int]] = []
-    frontier: deque = deque()
-    for probability, marking_index in space.initial_distribution:
-        aug = (marking_index, stage_tuple(marking_index, {}))
-        initial_distribution.append((probability, intern(aug)))
-        frontier.append(aug)
-
-    transitions: List[Tuple[int, int, float]] = []
-    explored = set()
-    while frontier:
-        aug = frontier.popleft()
-        if aug in explored:
-            continue
-        explored.add(aug)
-        source_index = index[aug]
-        marking_index, stage_pairs = aug
-        running = dict(stage_pairs)
-
-        def emit(target_marking: int, carried: Dict[str, int], rate: float) -> None:
-            target_aug = (target_marking, stage_tuple(target_marking, carried))
-            target_index = intern(target_aug)
-            transitions.append((source_index, target_index, rate))
-            if target_aug not in explored:
-                frontier.append(target_aug)
-
-        # Exponential completions: stages of still-enabled general
-        # activities are carried over (preemptive-resume).
-        for transition in markovian_by_source.get(marking_index, ()):
-            emit(transition.target, running, transition.rate)
-
-        # Stage advances / completions of each running general activity.
-        for name, stage in stage_pairs:
-            spec = specs[(marking_index, name)]
-            if stage < spec.stages - 1:
-                advanced = dict(running)
-                advanced[name] = stage + 1
-                emit(marking_index, advanced, spec.rate)
-            else:
-                carried = {k: v for k, v in running.items() if k != name}
-                for probability, target_marking in spec.targets:
-                    if probability == 0.0:
-                        continue
-                    emit(target_marking, carried, spec.rate * probability)
-
-    ctmc = CTMC(
-        len(states), transitions, initial_distribution=initial_distribution
+    assembled = assemble(space, stages=stages, max_states=max_states)
+    ctmc = assembled.rerate(space.model, validate=False)
+    return UnfoldedChain(
+        ctmc, assembled.decode_states(), space, assembled=assembled
     )
-    return UnfoldedChain(ctmc, states, space)

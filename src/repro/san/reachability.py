@@ -36,12 +36,20 @@ _MAX_STABILISATION_DEPTH = 1000
 
 @dataclass(frozen=True)
 class MarkovianTransition:
-    """An exponential completion: ``source -> target`` at ``rate``."""
+    """An exponential completion: ``source -> target`` at ``rate``.
+
+    ``rate`` folds the activity's base exponential rate with
+    ``probability`` -- the combined case / vanishing-elimination weight
+    of reaching ``target``.  The probability is kept separately so the
+    topology/rate split (:mod:`repro.san.assembled`) can re-rate the
+    transition from a new base rate without regenerating the graph.
+    """
 
     source: int
     activity: str
     rate: float
     target: int
+    probability: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -200,6 +208,7 @@ def generate(model: SANModel, *, max_states: int = 200_000) -> StateSpace:
                             activity=activity.name,
                             rate=distribution.rate * prob,
                             target=target,
+                            probability=prob,
                         )
                     )
             else:

@@ -27,11 +27,16 @@ RewardFunction = Callable[[MarkingView], float]
 def steady_state_marking_distribution(
     space: StateSpace, pi: np.ndarray
 ) -> Dict[Marking, float]:
-    """Map a stationary vector over state indices onto markings."""
+    """Map a stationary vector over state indices onto markings.
+
+    Markings are interned (one state per marking), so this is a
+    relabelling; the single ``tolist`` conversion avoids a per-state
+    ``float()`` call.
+    """
     result: Dict[Marking, float] = {}
-    for state, probability in enumerate(pi):
-        marking = space.markings[state]
-        result[marking] = result.get(marking, 0.0) + float(probability)
+    values = np.asarray(pi, dtype=float).tolist()
+    for marking, probability in zip(space.markings, values):
+        result[marking] = result.get(marking, 0.0) + probability
     return result
 
 

@@ -4,9 +4,15 @@ import pytest
 
 from repro.analytic.capacity import (
     CapacityModelConfig,
+    assemble_capacity_topology,
     build_capacity_san,
+    capacity_cache_stats,
+    capacity_caches_disabled,
     capacity_distribution,
     capacity_distribution_exponential,
+    capacity_solver_stats,
+    capacity_stage_timings,
+    clear_capacity_caches,
 )
 from repro.core.config import EvaluationParams
 from repro.errors import ConfigurationError
@@ -137,6 +143,81 @@ class TestDistributionShape:
             stages=12,
         )
         assert fast[14] > slow[14]
+
+    def test_rerate_path_matches_full_regeneration(self):
+        """The topology/rate-split acceptance contract: a fixed-topology
+        rate sweep through the re-rate + warm-start path must match
+        per-point full regeneration to 1e-12 on every P(k)."""
+        lambdas = (2e-5, 4e-5, 6e-5, 8e-5)
+        configs = [
+            CapacityModelConfig(failure_rate_per_hour=lam, threshold=10)
+            for lam in lambdas
+        ]
+        with capacity_caches_disabled():
+            baseline = [
+                capacity_distribution(config, stages=8) for config in configs
+            ]
+        clear_capacity_caches(reset_stats=True)
+        rerated = [
+            capacity_distribution(config, stages=8) for config in configs
+        ]
+        for baseline_row, rerated_row in zip(baseline, rerated):
+            assert baseline_row.keys() == rerated_row.keys()
+            for k in baseline_row:
+                assert abs(baseline_row[k] - rerated_row[k]) <= 1e-12
+
+    def test_rate_sweep_assembles_once(self):
+        """Configs differing only in lambda share one assembled
+        topology."""
+        clear_capacity_caches(reset_stats=True)
+        for lam in (2e-5, 5e-5, 9e-5):
+            capacity_distribution(
+                CapacityModelConfig(failure_rate_per_hour=lam, threshold=10),
+                stages=8,
+            )
+        stats = capacity_cache_stats()["assemble"]
+        assert stats.misses == 1
+        assert stats.hits == 2
+
+    def test_solver_stats_track_iterative_and_warm_starts(self):
+        clear_capacity_caches(reset_stats=True)
+        for lam in (2e-5, 5e-5, 9e-5):
+            capacity_distribution(
+                CapacityModelConfig(failure_rate_per_hour=lam, threshold=10),
+                stages=8,
+            )
+        stats = capacity_solver_stats()
+        assert stats["iterative"] == 3
+        assert stats["warm_started"] == 2  # all but the cold first point
+        assert stats["gmres_iterations"] > 0
+        assert stats["structure_fallbacks"] == 0
+
+    def test_stage_timings_cover_the_pipeline(self):
+        clear_capacity_caches(reset_stats=True)
+        capacity_distribution(
+            CapacityModelConfig(failure_rate_per_hour=5e-5), stages=8
+        )
+        timings = capacity_stage_timings()
+        assert set(timings) == {"assemble", "rerate", "solve"}
+        assert timings["assemble"] > 0.0
+        assert timings["solve"] > 0.0
+
+    def test_assemble_capacity_topology_is_rate_independent(self):
+        """The public structure-phase entry point returns the identical
+        cached object for rate-only config changes."""
+        clear_capacity_caches(reset_stats=True)
+        first = assemble_capacity_topology(
+            CapacityModelConfig(failure_rate_per_hour=1e-5), stages=8
+        )
+        second = assemble_capacity_topology(
+            CapacityModelConfig(failure_rate_per_hour=9e-5), stages=8
+        )
+        assert first is second
+        distinct = assemble_capacity_topology(
+            CapacityModelConfig(failure_rate_per_hour=1e-5, threshold=12),
+            stages=8,
+        )
+        assert distinct is not first
 
     def test_exponential_timers_misplace_mass(self):
         """Without deterministic-timer support the distribution shifts

@@ -238,10 +238,38 @@ class TestSweepRunner:
             row_fn=_double_row,
             points=[{"x": 1}, {"x": 2}],
         )
-        assert set(result.timings) == {"capacity_presolve", "rows", "total"}
+        assert set(result.timings) == {
+            "capacity_presolve",
+            "rows",
+            "total",
+            "assemble",
+            "rerate",
+            "solve",
+        }
         assert result.timings["total"] >= result.timings["rows"]
         assert all(v >= 0.0 for v in result.timings.values())
         assert result.rows == [{"x": 1, "y": 2}, {"x": 2, "y": 4}]
+
+    def test_preassemble_shares_one_topology_across_rate_configs(self):
+        """Configs differing only in rate parameters collapse onto one
+        assembled structure; a subsequent solve re-rates it (no further
+        assemble miss)."""
+        clear_capacity_caches(reset_stats=True)
+        configs = [
+            CapacityModelConfig(failure_rate_per_hour=lam, threshold=10)
+            for lam in (2e-5, 4e-5, 6e-5)
+        ]
+        count = SweepRunner.preassemble_capacity(
+            [(config, 8) for config in configs]
+        )
+        assert count == 3  # distinct (config, stages) keys...
+        stats = capacity_cache_stats()["assemble"]
+        assert stats.misses == 1  # ...but one shared topology
+        assert stats.hits == 2
+        before = capacity_cache_stats()["assemble"]
+        capacity_distribution(configs[0], stages=8)
+        after = capacity_cache_stats()["assemble"]
+        assert after.misses == before.misses
 
     def test_presolve_deduplicates_keys(self):
         clear_capacity_caches()

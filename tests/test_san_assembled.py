@@ -1,0 +1,218 @@
+"""Tests for repro.san.assembled (the topology/rate split): assembled
+chains must reproduce the classic unfolding exactly, re-rate to the
+same answers as a fresh rebuild, and reject topology changes."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.capacity import CapacityModelConfig, build_capacity_san
+from repro.analytic.distributions import Deterministic, Erlang
+from repro.errors import ModelError
+from repro.san import (
+    Case,
+    InputGate,
+    Place,
+    SANModel,
+    TimedActivity,
+    assemble,
+    generate,
+    unfold,
+)
+
+
+def on_off_model(up_rate=0.5, repair_time=2.0, name="on-off"):
+    """Exponential failure, deterministic repair."""
+    fail = TimedActivity.exponential("fail", up_rate, input_arcs={"up": 1})
+    repair = TimedActivity(
+        "repair",
+        Deterministic(repair_time),
+        input_gates=[InputGate("down", predicate=lambda m: m["up"] == 0)],
+        cases=[Case(output_arcs={"up": 1})],
+    )
+    return SANModel([Place("up", 1)], [fail, repair], name=name)
+
+
+def capacity_space(lam=5e-5):
+    config = CapacityModelConfig(failure_rate_per_hour=lam, threshold=10)
+    return generate(build_capacity_san(config))
+
+
+class TestEquivalenceWithUnfold:
+    """assemble + rerate must be the classic unfold, transition for
+    transition."""
+
+    def test_same_states_in_same_order(self):
+        space = capacity_space()
+        assembled = assemble(space, stages=8)
+        chain = unfold(space, stages=8)
+        assert assembled.decode_states() == chain.states
+
+    def test_same_generator_matrix(self):
+        space = capacity_space()
+        assembled = assemble(space, stages=8)
+        rerated = assembled.rerate(space.model)
+        rebuilt = unfold(space, stages=8).ctmc
+        assert rerated.num_states == rebuilt.num_states
+        difference = (rerated.generator != rebuilt.generator).nnz
+        assert difference == 0  # bit-identical, not just close
+
+    def test_same_steady_state_markings(self):
+        space = generate(on_off_model())
+        assembled = assemble(space, stages=12)
+        pi = assembled.rerate(space.model).steady_state()
+        marginals = assembled.marking_marginals(pi)
+        classic = unfold(space, stages=12).steady_state_markings()
+        for marking_index, probability in classic.items():
+            assert marginals[marking_index] == pytest.approx(
+                probability, abs=1e-12
+            )
+
+    def test_integer_codes_decode_faithfully(self):
+        """encode -> decode round-trips every augmented state."""
+        space = capacity_space()
+        assembled = assemble(space, stages=6)
+        states = assembled.decode_states()
+        assert len(states) == assembled.num_states
+        assert len(set(states)) == len(states)  # codes are injective
+        span = assembled.stage_span
+        for code, (marking_index, stage_pairs) in zip(
+            assembled.codes.tolist(), states
+        ):
+            assert code // span == marking_index
+            rebuilt = marking_index * span
+            for name, stage in stage_pairs:
+                position = assembled.general_names.index(name)
+                rebuilt += stage * assembled.stage_strides[position]
+            assert rebuilt == code
+
+
+class TestRerate:
+    def test_rerate_matches_fresh_rebuild_at_new_rates(self):
+        """Assemble once at one lambda, re-rate across a sweep: every
+        point must match a from-scratch unfolding to 1e-12."""
+        space = capacity_space(lam=2e-5)
+        assembled = assemble(space, stages=8)
+        for lam in (4e-5, 7e-5, 9.6e-5):
+            fresh_space = capacity_space(lam=lam)
+            rerated = assembled.rerate(fresh_space.model)
+            rebuilt = unfold(fresh_space, stages=8).ctmc
+            pi_rerated = rerated.steady_state()
+            pi_rebuilt = rebuilt.steady_state()
+            marginals = assembled.marking_marginals(pi_rerated)
+            rebuilt_marginals = assembled.marking_marginals(pi_rebuilt)
+            assert np.max(np.abs(marginals - rebuilt_marginals)) <= 1e-12
+
+    def test_rerate_with_precomputed_rate_vector(self):
+        space = generate(on_off_model())
+        assembled = assemble(space, stages=4)
+        vector = assembled.rate_vector(space.model)
+        via_vector = assembled.rerate(rate_vector=vector)
+        via_model = assembled.rerate(space.model)
+        assert (via_vector.generator != via_model.generator).nnz == 0
+
+    def test_rerate_requires_model_or_vector(self):
+        space = generate(on_off_model())
+        assembled = assemble(space, stages=4)
+        with pytest.raises(ModelError):
+            assembled.rerate()
+
+    def test_rate_vector_length_validated(self):
+        space = generate(on_off_model())
+        assembled = assemble(space, stages=4)
+        with pytest.raises(ModelError):
+            assembled.transition_rates(np.ones(assembled.num_slots + 1))
+
+
+class TestTopologyValidation:
+    def test_place_set_change_rejected(self):
+        space = generate(on_off_model())
+        assembled = assemble(space, stages=4)
+        other = SANModel(
+            [Place("up", 1), Place("extra", 0)],
+            [
+                TimedActivity.exponential("fail", 0.5, input_arcs={"up": 1}),
+                TimedActivity(
+                    "repair",
+                    Deterministic(2.0),
+                    input_gates=[
+                        InputGate("down", predicate=lambda m: m["up"] == 0)
+                    ],
+                    cases=[Case(output_arcs={"up": 1})],
+                ),
+            ],
+        )
+        with pytest.raises(ModelError):
+            assembled.rate_vector(other)
+
+    def test_threshold_change_rejected(self):
+        """A different deployment threshold changes which activities are
+        enabled where -- that is topology, not rate."""
+        assembled = assemble(capacity_space(), stages=4)
+        other = generate(
+            build_capacity_san(
+                CapacityModelConfig(failure_rate_per_hour=5e-5, threshold=12)
+            )
+        )
+        with pytest.raises(ModelError):
+            assembled.rate_vector(other.model)
+
+    def test_erlang_shape_change_rejected(self):
+        """Swapping a Deterministic timer for an Erlang of a different
+        shape changes the stage structure."""
+
+        def erlang_model(shape):
+            fail = TimedActivity.exponential(
+                "fail", 0.5, input_arcs={"up": 1}
+            )
+            repair = TimedActivity(
+                "repair",
+                Erlang(shape, shape / 2.0),
+                input_gates=[
+                    InputGate("down", predicate=lambda m: m["up"] == 0)
+                ],
+                cases=[Case(output_arcs={"up": 1})],
+            )
+            return SANModel([Place("up", 1)], [fail, repair])
+
+        assembled = assemble(generate(erlang_model(3)), stages=4)
+        with pytest.raises(ModelError):
+            assembled.rate_vector(erlang_model(5))
+
+    def test_matching_erlang_substitutes_for_deterministic(self):
+        """A Deterministic timer may be re-rated as an Erlang of exactly
+        the assembled stage count (same structure, new rate)."""
+        stages = 6
+        assembled = assemble(generate(on_off_model()), stages=stages)
+        fail = TimedActivity.exponential("fail", 0.5, input_arcs={"up": 1})
+        repair = TimedActivity(
+            "repair",
+            Erlang(stages, stages / 3.0),  # mean 3 instead of 2
+            input_gates=[InputGate("down", predicate=lambda m: m["up"] == 0)],
+            cases=[Case(output_arcs={"up": 1})],
+        )
+        substituted = SANModel([Place("up", 1)], [fail, repair])
+        ctmc = assembled.rerate(substituted)
+        pi = assembled.marking_marginals(ctmc.steady_state())
+        up_index = assembled.space.index[(1,)]
+        # Availability (1/lam) / (1/lam + d) with the new mean d = 3.
+        assert pi[up_index] == pytest.approx(2.0 / 5.0, abs=1e-9)
+
+    def test_validate_false_skips_structure_checks(self):
+        """validate=False is the fast path used when the model is known
+        identical (unfold's own call)."""
+        space = generate(on_off_model())
+        assembled = assemble(space, stages=4)
+        vector = assembled.rate_vector(space.model, validate=False)
+        assert vector.shape == (assembled.num_slots,)
+
+
+class TestShape:
+    def test_describe_mentions_counts(self):
+        assembled = assemble(generate(on_off_model()), stages=4)
+        text = assembled.describe()
+        assert str(assembled.num_states) in text
+        assert "rate slots" in text
+
+    def test_rejects_bad_stage_count(self):
+        with pytest.raises(ModelError):
+            assemble(generate(on_off_model()), stages=0)

@@ -189,6 +189,165 @@ class TestEdgeCases:
         )
 
 
+def birth_death_chain(n, birth, death):
+    transitions = []
+    for s in range(n - 1):
+        transitions.append((s, s + 1, birth))
+        transitions.append((s + 1, s, death))
+    return CTMC(n, transitions, initial_distribution=[(1.0, 0)])
+
+
+class TestTransientInitialValidation:
+    def test_rejects_wrong_shape(self):
+        chain = CTMC(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        with pytest.raises(ModelError):
+            chain.transient(1.0, initial=np.array([0.5, 0.5]))
+
+    def test_rejects_negative_mass(self):
+        chain = CTMC(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(ModelError):
+            chain.transient(1.0, initial=np.array([1.5, -0.5]))
+
+    def test_rejects_unnormalised(self):
+        chain = CTMC(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(ModelError):
+            chain.transient(1.0, initial=np.array([0.6, 0.6]))
+
+    def test_rejects_non_finite(self):
+        chain = CTMC(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(ModelError):
+            chain.transient(1.0, initial=np.array([np.nan, 1.0]))
+
+    def test_accepts_valid_distribution(self):
+        chain = CTMC(2, [(0, 1, 2.0), (1, 0, 3.0)])
+        p = chain.transient(50.0, initial=np.array([0.25, 0.75]))
+        pi = chain.steady_state()
+        assert np.allclose(p, pi, atol=1e-6)
+
+
+class TestRewardVectors:
+    def test_precomputed_array_matches_callable(self):
+        chain = CTMC(2, [(0, 1, 2.0), (1, 0, 3.0)])
+        pi = chain.steady_state()
+        from_callable = chain.expected_reward(pi, lambda s: float(s * s))
+        from_array = chain.expected_reward(pi, np.array([0.0, 1.0]))
+        assert from_array == pytest.approx(from_callable)
+
+    def test_array_shape_validated(self):
+        chain = CTMC(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        pi = chain.steady_state()
+        with pytest.raises(ModelError):
+            chain.expected_reward(pi, np.array([1.0, 2.0, 3.0]))
+
+    def test_callable_evaluated_once_across_calls(self):
+        chain = CTMC(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        pi = chain.steady_state()
+        calls = []
+
+        def reward(state):
+            calls.append(state)
+            return float(state)
+
+        first = chain.expected_reward(pi, reward)
+        second = chain.expected_reward(pi, reward)
+        assert first == second
+        assert len(calls) == 3  # one sweep, then served from the cache
+
+
+class TestIterativeSteadyState:
+    def test_iterative_matches_direct_to_1e12(self):
+        chain = birth_death_chain(150, 1.0, 1.3)
+        direct = chain.steady_state_solve(
+            method="direct", prepare_warm_start=True
+        )
+        assert direct.method in ("dense-direct", "sparse-direct")
+        assert direct.warm_start is not None
+        # Re-solve a nearby chain from the warm start.
+        nearby = birth_death_chain(150, 1.05, 1.3)
+        warm = nearby.steady_state_solve(
+            method="auto", warm_start=direct.warm_start
+        )
+        assert warm.method == "gmres"
+        assert warm.warm_started
+        assert warm.iterations > 0
+        reference = nearby.steady_state_solve(method="direct")
+        assert np.max(np.abs(warm.pi - reference.pi)) <= 1e-12
+
+    def test_cold_auto_with_prepare_uses_iterative_path(self):
+        chain = birth_death_chain(120, 0.9, 1.1)
+        solution = chain.steady_state_solve(
+            method="auto", prepare_warm_start=True
+        )
+        assert solution.method == "gmres"
+        assert not solution.warm_started  # no previous pi to start from
+        assert solution.warm_start is not None
+        reference = chain.steady_state_solve(method="direct")
+        assert np.max(np.abs(solution.pi - reference.pi)) <= 1e-12
+
+    def test_size_mismatched_warm_start_falls_back_with_reason(self):
+        small = birth_death_chain(100, 1.0, 1.2)
+        prepared = small.steady_state_solve(
+            method="direct", prepare_warm_start=True
+        ).warm_start
+        large = birth_death_chain(140, 1.0, 1.2)
+        solution = large.steady_state_solve(
+            method="auto", warm_start=prepared
+        )
+        assert solution.method in ("dense-direct", "sparse-direct")
+        assert not solution.warm_started
+        assert solution.fallback is not None
+
+    def test_iterative_without_warm_start_raises(self):
+        chain = birth_death_chain(100, 1.0, 1.2)
+        with pytest.raises(SolverError):
+            chain.steady_state_solve(method="iterative")
+
+    def test_unknown_method_rejected(self):
+        chain = CTMC(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(ModelError):
+            chain.steady_state_solve(method="magic")
+
+    def test_small_chain_ignores_warm_start(self):
+        """Below _ITERATIVE_MIN_STATES the direct solver is cheaper and
+        the iterative machinery is skipped entirely."""
+        chain = CTMC(2, [(0, 1, 2.0), (1, 0, 3.0)])
+        solution = chain.steady_state_solve(
+            method="auto", prepare_warm_start=True
+        )
+        assert solution.method == "dense-direct"
+        assert solution.warm_start is None
+
+
+class TestFromArrays:
+    def test_matches_tuple_construction(self):
+        source = np.array([0, 1, 1])
+        target = np.array([1, 0, 2])
+        rates = np.array([2.0, 1.0, 0.5])
+        from_arrays = CTMC.from_arrays(3, source, target, rates)
+        from_tuples = CTMC(3, [(0, 1, 2.0), (1, 0, 1.0), (1, 2, 0.5)])
+        assert (from_arrays.generator != from_tuples.generator).nnz == 0
+
+    def test_drops_zero_rates_and_self_loops(self):
+        source = np.array([0, 0, 1])
+        target = np.array([1, 0, 0])
+        rates = np.array([1.0, 5.0, 0.0])
+        chain = CTMC.from_arrays(2, source, target, rates)
+        assert chain.generator[0, 1] == 1.0
+        assert chain.generator[1, 0] == 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ModelError):
+            CTMC.from_arrays(
+                2, np.array([0]), np.array([1]), np.array([-1.0])
+            )
+
+    def test_rejects_out_of_range_state(self):
+        with pytest.raises(ModelError):
+            CTMC.from_arrays(
+                2, np.array([0]), np.array([7]), np.array([1.0])
+            )
+
+
 class TestConversion:
     def test_general_transitions_rejected(self):
         from repro.analytic.distributions import Deterministic
