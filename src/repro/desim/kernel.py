@@ -56,8 +56,22 @@ class Simulator:
     """
 
     def __init__(self, *, start_time: float = 0.0):
+        self._start_time = start_time
         self.now = start_time
         self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    def reset(self) -> None:
+        """Return the kernel to its just-constructed state: the clock
+        back at the start time, the event queue empty, and the
+        tie-breaking sequence counter restarted (so a replayed scenario
+        schedules events with the same ``(time, priority, seq)`` keys as
+        a fresh kernel would).  Used by the batched replication engine
+        (:mod:`repro.simulation.batch`) to reuse one kernel across many
+        scenario replications."""
+        self.now = self._start_time
+        self._heap.clear()
         self._seq = itertools.count()
         self._processed = 0
 
@@ -78,7 +92,13 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` from now."""
         if delay < 0:
             raise ConfigurationError(f"delay must be >= 0, got {delay}")
-        return self.at(self.now + delay, callback, *args, priority=priority)
+        # Push directly: a non-negative delay can never land in the
+        # past, so the at() guard is redundant on this (hot) path.
+        event = Event(
+            self.now + delay, priority, next(self._seq), callback, args
+        )
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        return event
 
     def at(
         self, time: float, callback: Callable, *args: Any, priority: int = 0
@@ -113,16 +133,26 @@ class Simulator:
             if max_events is not None and count >= max_events:
                 return
 
-    def run_until(self, time: float) -> None:
+    def run_until(
+        self, time: float, *, stop: Optional[Callable[[], bool]] = None
+    ) -> None:
         """Run all events scheduled at or before ``time``; afterwards
-        ``now`` equals ``time``."""
+        ``now`` equals ``time``.
+
+        ``stop`` is an optional predicate evaluated after each event; a
+        truthy return abandons the run immediately (``now`` stays at the
+        last executed event's time).  The batched replication engine
+        uses it to cut a run short once the outcome is decided.
+        """
         if time < self.now:
             raise ConfigurationError(
                 f"cannot run backwards (now={self.now}, requested {time})"
             )
-        while self._heap:
-            next_time = self._heap[0][0]
-            if next_time > time:
+        heap = self._heap
+        while heap:
+            if heap[0][0] > time:
                 break
             self.step()
+            if stop is not None and stop():
+                return
         self.now = time

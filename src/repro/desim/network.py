@@ -96,6 +96,25 @@ class Network:
         self._handlers: Dict[str, Handler] = {}
         self._failed: set = set()
         self.log: List[MessageRecord] = []
+        #: When False, :class:`MessageRecord` entries are not appended
+        #: to :attr:`log` -- a throughput knob for batched Monte-Carlo
+        #: replication, where nothing reads the log.  Delivery and loss
+        #: semantics (including the random stream) are unaffected.
+        self.record_log = True
+
+    def reset(self, *, rng=None) -> None:
+        """Clear all mutable transport state -- the message log and the
+        fail-silent set -- while keeping the registered handlers, and
+        install the generator for the next replication's loss draws.
+        Used by the batched replication engine to reuse one network
+        across scenario replications."""
+        if (self.loss_probability > 0.0 or self.loss_fn is not None) and rng is None:
+            raise ConfigurationError(
+                "a random generator is required when messages can be lost"
+            )
+        self._rng = rng
+        self._failed.clear()
+        self.log = []
 
     def register(self, name: str, handler: Handler) -> None:
         """Attach a node: ``handler(source, message)`` is invoked on
@@ -144,12 +163,20 @@ class Network:
             raise ConfigurationError(f"delay must be >= 0, got {delay}")
         sent_at = self.simulator.now
         if source in self._failed:
-            self.log.append(MessageRecord(sent_at, None, source, destination, message))
+            if self.record_log:
+                self.log.append(
+                    MessageRecord(sent_at, None, source, destination, message)
+                )
             return
-        if self._lost(sent_at, source, destination):
+        if (
+            self.loss_probability > 0.0 or self.loss_fn is not None
+        ) and self._lost(sent_at, source, destination):
             # Crosslink corruption/erasure: the message vanishes in
             # flight, silently (the sender cannot tell).
-            self.log.append(MessageRecord(sent_at, None, source, destination, message))
+            if self.record_log:
+                self.log.append(
+                    MessageRecord(sent_at, None, source, destination, message)
+                )
             return
         # Deliveries outrank timers at equal timestamps: a notification
         # arriving exactly at a protocol timeout is processed first.
@@ -186,11 +213,17 @@ class Network:
         self, sent_at: float, source: str, destination: str, message: object
     ) -> None:
         if destination in self._failed:
-            self.log.append(MessageRecord(sent_at, None, source, destination, message))
+            if self.record_log:
+                self.log.append(
+                    MessageRecord(sent_at, None, source, destination, message)
+                )
             return
-        self.log.append(
-            MessageRecord(sent_at, self.simulator.now, source, destination, message)
-        )
+        if self.record_log:
+            self.log.append(
+                MessageRecord(
+                    sent_at, self.simulator.now, source, destination, message
+                )
+            )
         self._handlers[destination](source, message)
 
     def delivered_count(self) -> int:

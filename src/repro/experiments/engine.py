@@ -63,6 +63,7 @@ from repro.analytic.capacity import (
 )
 from repro.errors import ConfigurationError
 from repro.experiments.report import ExperimentResult
+from repro.simulation.batch import batch_stage_timings
 
 __all__ = ["SweepRunner", "evaluate_grid"]
 
@@ -204,13 +205,17 @@ class SweepRunner:
         re-rated per point instead of regenerated.
 
         The ``assemble``/``rerate``/``solve`` timings are deltas of the
-        capacity module's stage accumulators across the run, so they
-        only attribute work done in the parent process; with
-        ``n_jobs > 1`` the per-point solves happen in workers and those
-        stages undercount (``rows`` still captures the wall clock).
+        capacity module's stage accumulators across the run, and the
+        ``batch_template``/``batch_replicate``/``batch_run`` timings are
+        deltas of the batched-replication engine's accumulators (see
+        :func:`repro.simulation.batch.batch_stage_timings`).  Both only
+        attribute work done in the parent process; with ``n_jobs > 1``
+        the per-point work happens in workers and those stages
+        undercount (``rows`` still captures the wall clock).
         """
         timings: Dict[str, float] = {}
         before = capacity_stage_timings()
+        batch_before = batch_stage_timings()
         with _stage(timings, "total"):
             with _stage(timings, "capacity_presolve"):
                 self.preassemble_capacity(preassemble)
@@ -218,8 +223,13 @@ class SweepRunner:
             with _stage(timings, "rows"):
                 rows = self.map_rows(row_fn, points)
         after = capacity_stage_timings()
+        batch_after = batch_stage_timings()
         for stage in ("assemble", "rerate", "solve"):
             timings[stage] = after.get(stage, 0.0) - before.get(stage, 0.0)
+        for stage in ("template", "replicate", "run"):
+            timings[f"batch_{stage}"] = batch_after.get(
+                stage, 0.0
+            ) - batch_before.get(stage, 0.0)
         return ExperimentResult(
             experiment_id=experiment_id,
             title=title,

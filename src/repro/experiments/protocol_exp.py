@@ -22,8 +22,8 @@ from repro.core.config import EvaluationParams
 from repro.core.opportunity import max_chain_length
 from repro.core.schemes import Scheme
 from repro.experiments.report import ExperimentResult
-from repro.protocol.runner import CenterlineScenario
 from repro.protocol.satellite import MessagingVariant
+from repro.simulation.batch import ScenarioTemplate
 
 __all__ = ["run"]
 
@@ -37,6 +37,13 @@ def _batch(
     samples: int,
     rng: np.random.Generator,
 ):
+    # One template per configuration; each sample replays it.  The
+    # per-sample seed chain (and therefore every outcome) is identical
+    # to the per-sample CenterlineScenario construction this replaced.
+    template = ScenarioTemplate(
+        geometry, params, scheme=Scheme.OAQ, variant=variant, record_log=False
+    )
+    single_coverage = geometry.single_coverage_length
     detected = 0
     timely = 0
     max_timely_chain = 0
@@ -47,21 +54,13 @@ def _batch(
         if fail_successor:
             # Fail the *detector's* successor: for a signal starting in
             # the coverage gap the first (detecting) visitor is S2, so
-            # the successor under test is S3.
-            probe = CenterlineScenario(
-                geometry, params, scheme=Scheme.OAQ, variant=variant, seed=seed
-            )
-            successor = "S2" if probe.covered_at_onset() else "S3"
-            fail_silent = {successor: 0.0}
-        scenario = CenterlineScenario(
-            geometry,
-            params,
-            scheme=Scheme.OAQ,
-            variant=variant,
-            fail_silent=fail_silent,
-            seed=seed,
-        )
-        outcome = scenario.run()
+            # the successor under test is S3.  The probe draw replays
+            # the scenario's own onset draw for this seed.
+            probe = np.random.default_rng(seed)
+            onset = float(probe.uniform(0.0, geometry.l1))
+            covered = geometry.overlapping or onset < single_coverage
+            fail_silent = {("S2" if covered else "S3"): 0.0}
+        outcome = template.replicate(seed, fail_silent=fail_silent).run()
         if outcome.detection_time is not None:
             detected += 1
             if outcome.official_alert is not None:

@@ -31,7 +31,7 @@ from repro.core.qos import QoSLevel
 from repro.core.schemes import Scheme
 from repro.errors import ConfigurationError
 from repro.experiments.engine import SweepRunner
-from repro.faults.injector import faulty_scenario
+from repro.faults.injector import StalePeerView, build_link_loss_fn
 from repro.faults.plan import FaultPlan
 from repro.faults.stats import WilsonInterval, wilson_interval
 from repro.protocol.satellite import MessagingVariant
@@ -102,7 +102,20 @@ def _scenario_seeds(campaign_seed: int, cell_index: int, runs: int) -> Tuple[int
 
 def _evaluate_batch(point: Mapping[str, object]) -> Dict[str, object]:
     """Top-level (picklable) batch evaluator: run every seed of one
-    batch and return the aggregated counts."""
+    batch against a shared :class:`ScenarioTemplate` and return the
+    aggregated counts.
+
+    The template replays :func:`~repro.faults.injector.faulty_scenario`
+    bit for bit: the signal is drawn from a probe generator with the
+    run's seed, and the replication then re-seeds a fresh generator for
+    the protocol draws -- the same two-generator protocol the legacy
+    per-run construction used, so campaign results (including the
+    golden pins) are byte-identical, just without rebuilding the
+    scenario infrastructure per run.  Strict (non-lazy) event
+    scheduling keeps the event order key-for-key identical as well.
+    """
+    from repro.simulation.batch import ScenarioTemplate
+
     plan: FaultPlan = point["plan"]
     scheme: Scheme = point["scheme"]
     variant: MessagingVariant = point["variant"]
@@ -110,13 +123,40 @@ def _evaluate_batch(point: Mapping[str, object]) -> Dict[str, object]:
     capacity: int = point["capacity"]
     seeds: Tuple[int, ...] = point["seeds"]
     geometry = params.constellation.plane_geometry(capacity)
+    template = ScenarioTemplate(
+        geometry,
+        params,
+        scheme=scheme,
+        variant=variant,
+        crosslink_loss_probability=plan.crosslink_loss,
+        link_loss_fn=build_link_loss_fn(plan),
+        lazy_events=False,
+        record_log=False,
+    )
+    names = list(template.names)
+    single_coverage = geometry.single_coverage_length
     counts = [0, 0, 0, 0]
     detected = 0
     for seed in seeds:
-        scenario = faulty_scenario(
-            geometry, params, plan, scheme=scheme, variant=variant, seed=seed
-        )
-        outcome = scenario.run()
+        # Signal draws come from a probe generator, exactly as
+        # faulty_scenario's probe CenterlineScenario would consume them.
+        probe = np.random.default_rng(seed)
+        onset = float(probe.uniform(0.0, geometry.l1))
+        duration = float(probe.exponential(1.0 / params.mu))
+        covered = geometry.overlapping or onset < single_coverage
+        failure_times = plan.failure_times(names, "S1" if covered else "S2")
+        next_peer = None
+        if plan.membership_staleness is not None:
+            next_peer = StalePeerView(
+                names, failure_times, plan.membership_staleness, template
+            )
+        outcome = template.replicate(
+            seed,
+            onset_position=onset,
+            signal_duration=duration,
+            fail_silent=failure_times,
+            next_peer_override=next_peer,
+        ).run()
         counts[int(outcome.achieved_level)] += 1
         if outcome.detection_time is not None:
             detected += 1

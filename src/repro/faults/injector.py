@@ -63,8 +63,11 @@ class StalePeerView:
         names: Sequence[str],
         failure_times: "dict[str, float]",
         staleness: float,
-        scenario: CenterlineScenario,
+        scenario: object,
     ):
+        # ``scenario`` is anything exposing a ``simulator`` attribute:
+        # a CenterlineScenario (None before the first run) or a
+        # batched-replication ScenarioTemplate.
         self._names = list(names)
         self._failure_times = dict(failure_times)
         self._staleness = staleness

@@ -25,7 +25,20 @@ class GroundStation:
     def __init__(self, network: Network, *, name: str = "ground"):
         self.name = name
         self._alerts: Dict[str, List[AlertMessage]] = {}
+        #: True once any alert has been delivered (cheap early-stop
+        #: signal for the batched replication engine: with a constant
+        #: downlink delay the first alert *delivered* is the first one
+        #: *sent*, i.e. the official alert, so a level-only run can end
+        #: here).
+        self.alert_received = False
         network.register(name, self._on_message)
+
+    def reset(self) -> None:
+        """Forget all collected alerts (the network registration is
+        kept).  Used by the batched replication engine to reuse one
+        ground station across scenario replications."""
+        self._alerts.clear()
+        self.alert_received = False
 
     def _on_message(self, source: str, message: object) -> None:
         if not isinstance(message, AlertMessage):
@@ -33,6 +46,7 @@ class GroundStation:
                 f"ground station received a non-alert message {message!r}"
             )
         self._alerts.setdefault(message.signal_id, []).append(message)
+        self.alert_received = True
 
     def alerts(self, signal_id: str) -> List[AlertMessage]:
         """All alerts received for a signal, in delivery order."""

@@ -41,7 +41,27 @@ from repro.protocol.messages import AlertMessage
 from repro.protocol.satellite import MessagingVariant, OAQSatellite
 from repro.protocol.signal import Signal
 
-__all__ = ["ScenarioOutcome", "CenterlineScenario"]
+__all__ = ["ScenarioOutcome", "CenterlineScenario", "normalise_onset_position"]
+
+
+def normalise_onset_position(geometry: PlaneGeometry, onset_position: float) -> float:
+    """Validate a cycle position against ``[0, L1)`` and wrap the
+    half-open boundary.
+
+    The cycle is periodic, so a position equal to ``L1`` (reached
+    exactly, or through floating-point tolerance) is the start of the
+    next cycle and wraps to ``0.0``; anything beyond is rejected.
+    Shared by :class:`CenterlineScenario` and the batched replication
+    engine so both paths accept exactly the same inputs.
+    """
+    if not 0.0 <= onset_position <= geometry.l1 + 1e-12:
+        raise ConfigurationError(
+            f"onset_position must be in [0, L1={geometry.l1}), got "
+            f"{onset_position}"
+        )
+    if onset_position >= geometry.l1:
+        return 0.0
+    return onset_position
 
 
 @dataclass
@@ -148,18 +168,7 @@ class CenterlineScenario:
         self.simulator: Optional[Simulator] = None
         if onset_position is None:
             onset_position = float(self.rng.uniform(0.0, geometry.l1))
-        if not 0.0 <= onset_position <= geometry.l1 + 1e-12:
-            raise ConfigurationError(
-                f"onset_position must be in [0, L1={geometry.l1}), got "
-                f"{onset_position}"
-            )
-        if onset_position >= geometry.l1:
-            # The cycle range is half-open: position L1 (reached exactly,
-            # or through the floating-point tolerance above) is the start
-            # of the next cycle, so it wraps to 0 instead of sitting on
-            # an out-of-range boundary value.
-            onset_position = 0.0
-        self.onset_position = onset_position
+        self.onset_position = normalise_onset_position(geometry, onset_position)
         if signal_duration is None:
             signal_duration = float(self.rng.exponential(1.0 / params.mu))
         self.signal = Signal("signal-0", 0.0, signal_duration)

@@ -120,8 +120,31 @@ class OAQSatellite:
         self.next_peer = next_peer or (lambda _name: None)
         self.ground_name = ground_name
         self.rng = rng or np.random.default_rng()
+        # Hot-path caches: these are read on every computation
+        # completion and timer, and never change over the satellite's
+        # lifetime.
+        self._tau = params.tau
+        self._delta = params.delta
+        self._tg = params.tg
+        self._overlapping = geometry.overlapping
         self._states: Dict[str, _SignalState] = {}
+        #: Optional hook called (with this node's name) when a
+        #: coordination request first creates per-signal state here.
+        #: The batched replication engine uses it to schedule footprint
+        #: arrivals lazily -- only satellites actually invited into the
+        #: chain get an arrival event.
+        self.on_invited: Optional[Callable[[str], None]] = None
         network.register(name, self.on_message)
+
+    def reset(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Drop all per-signal protocol state and (optionally) install
+        the generator for the next replication's draws.  Static wiring
+        -- network registration, peers, models -- is kept.  Used by the
+        batched replication engine to reuse one satellite across
+        scenario replications."""
+        self._states.clear()
+        if rng is not None:
+            self.rng = rng
 
     # ------------------------------------------------------------------
     # Introspection (used by scenario assertions)
@@ -240,7 +263,7 @@ class OAQSatellite:
         state.computing = False
         state.estimate = self._build_estimate(state, simultaneous=simultaneous)
         now = self.simulator.now
-        tau = self.params.tau
+        tau = self._tau
         t0 = state.detection_time
 
         if self.scheme is Scheme.BAQ:
@@ -259,11 +282,11 @@ class OAQSatellite:
             return
         # TC-2: no guaranteed room for another iteration + notification.
         n = state.ordinal
-        if now - t0 > tau - (n * self.params.delta + self.params.tg):
+        if now - t0 > tau - (n * self._delta + self._tg):
             self._finalize(signal, state)
             return
 
-        if self.geometry.overlapping:
+        if self._overlapping:
             # Withhold and wait for the overlapped footprints; the
             # deadline guard sends the preliminary result if they do
             # not arrive (or the signal dies first).
@@ -285,7 +308,7 @@ class OAQSatellite:
             chain=state.chain,
         )
         self.network.send(
-            self.name, successor, request, delay=self.params.delta
+            self.name, successor, request, delay=self._delta
         )
         if self.variant is MessagingVariant.DONE_PROPAGATION:
             self._arm_guard(signal, state)
@@ -310,8 +333,8 @@ class OAQSatellite:
         """Arm the wait/deadline guard at ``t0 + tau - (n-1) delta``."""
         deadline = (
             state.detection_time
-            + self.params.tau
-            - (state.ordinal - 1) * self.params.delta
+            + self._tau
+            - (state.ordinal - 1) * self._delta
         )
         now = self.simulator.now
         delay = max(0.0, deadline - now)
@@ -360,6 +383,8 @@ class OAQSatellite:
             inherited=request.estimate,
             awaiting_pass=True,
         )
+        if self.on_invited is not None:
+            self.on_invited(self.name)
 
     def _on_done(self, source: str, done: CoordinationDone) -> None:
         state = self._states.get(done.signal_id)
@@ -378,7 +403,7 @@ class OAQSatellite:
                     final_estimate=done.final_estimate,
                     terminated_by=done.terminated_by,
                 ),
-                delay=self.params.delta,
+                delay=self._delta,
             )
 
     # ------------------------------------------------------------------
@@ -400,7 +425,7 @@ class OAQSatellite:
             detection_time=state.detection_time,
             chain=state.chain,
         )
-        self.network.send(self.name, self.ground_name, alert, delay=self.params.delta)
+        self.network.send(self.name, self.ground_name, alert, delay=self._delta)
         if state.predecessor is not None:
             self.network.send(
                 self.name,
@@ -410,5 +435,5 @@ class OAQSatellite:
                     final_estimate=state.estimate,
                     terminated_by=self.name,
                 ),
-                delay=self.params.delta,
+                delay=self._delta,
             )

@@ -54,3 +54,34 @@ class TestTransient:
             for k in set(steady) | set(late)
         )
         assert tv < 0.05
+
+
+class TestIncrementalEvaluation:
+    TIMES = [0.0, 1000.0, 3000.0, 6000.0, 12000.0, 24000.0]
+
+    def test_incremental_matches_from_scratch(self, config):
+        """Advancing the uniformisation vector point-to-point is the
+        same chain as restarting each solve from t=0 (Markov property);
+        the shared truncation tolerance keeps them within 1e-12."""
+        incremental = capacity_transient(config, self.TIMES, stages=12)
+        scratch = capacity_transient(
+            config, self.TIMES, stages=12, incremental=False
+        )
+        assert set(incremental) == set(scratch)
+        for t in self.TIMES:
+            keys = set(incremental[t]) | set(scratch[t])
+            for k in keys:
+                assert incremental[t].get(k, 0.0) == pytest.approx(
+                    scratch[t].get(k, 0.0), abs=1e-12
+                )
+
+    def test_unsorted_and_duplicate_times(self, config):
+        """The caller's time order and duplicate points do not change
+        the result -- evaluation is internally sorted and unique."""
+        shuffled = capacity_transient(
+            config, [6000.0, 1000.0, 6000.0, 0.0], stages=12
+        )
+        ordered = capacity_transient(config, [0.0, 1000.0, 6000.0], stages=12)
+        assert list(shuffled) == [6000.0, 1000.0, 0.0]
+        for t, distribution in ordered.items():
+            assert shuffled[t] == distribution

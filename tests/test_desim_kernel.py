@@ -108,3 +108,27 @@ class TestRunUntil:
         simulator.schedule(1.0, reschedule)
         simulator.run(max_events=10)
         assert simulator.events_processed == 10
+
+    def test_stop_predicate_halts_after_current_event(self):
+        simulator = Simulator()
+        fired = []
+        done = []
+        simulator.schedule(1.0, fired.append, "a")
+        simulator.schedule(2.0, lambda: (fired.append("b"), done.append(True)))
+        simulator.schedule(3.0, fired.append, "c")
+        simulator.run_until(10.0, stop=lambda: bool(done))
+        assert fired == ["a", "b"]
+        # Stopped early: the clock stays at the stopping event, not the
+        # horizon, and the remaining event is still pending.
+        assert simulator.now == 2.0
+        simulator.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+        assert simulator.now == 10.0
+
+    def test_stop_predicate_false_runs_to_horizon(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, fired.append, "a")
+        simulator.run_until(5.0, stop=lambda: False)
+        assert fired == ["a"]
+        assert simulator.now == 5.0

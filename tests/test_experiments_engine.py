@@ -245,6 +245,9 @@ class TestSweepRunner:
             "assemble",
             "rerate",
             "solve",
+            "batch_template",
+            "batch_replicate",
+            "batch_run",
         }
         assert result.timings["total"] >= result.timings["rows"]
         assert all(v >= 0.0 for v in result.timings.values())

@@ -1,0 +1,216 @@
+"""Tests for :mod:`repro.simulation.batch` -- the batched Monte-Carlo
+replication engine.
+
+The load-bearing contract: for any seed, ``ScenarioTemplate(...)
+.replicate(seed).run()`` is **bit-identical** to building a fresh
+``CenterlineScenario(..., seed=seed)`` and running it, in both strict
+and lazy event-scheduling modes, across all four protocol branches
+(overlap/underlap x OAQ/BAQ).  Everything downstream (the faults
+campaign golden, the protocol experiment, the batched QoS sampler's
+statistical pins) rests on that equivalence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvaluationParams
+from repro.core.schemes import Scheme
+from repro.errors import ConfigurationError
+from repro.faults.stats import wilson_interval
+from repro.protocol.runner import CenterlineScenario
+from repro.simulation.batch import (
+    ScenarioTemplate,
+    batch_stage_timings,
+    reset_batch_stage_timings,
+)
+
+PARAMS = EvaluationParams(signal_termination_rate=0.2)
+#: k=9 underlaps (coverage gap; coordination chains form), k=12
+#: overlaps (simultaneous double coverage) -- the two physical regimes.
+CAPACITIES = (9, 12)
+SEEDS = range(120)
+
+
+def _outcome_key(outcome):
+    official = outcome.official_alert
+    return (
+        int(outcome.achieved_level),
+        outcome.detection_time,
+        outcome.duplicates,
+        len(outcome.all_alerts),
+        None if official is None else (official.sent_at, official.sent_by),
+        outcome.signal.duration,
+    )
+
+
+class TestTemplateBitIdentity:
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    @pytest.mark.parametrize("scheme", [Scheme.OAQ, Scheme.BAQ])
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_replicate_matches_fresh_scenario(self, capacity, scheme, lazy):
+        geometry = PARAMS.constellation.plane_geometry(capacity)
+        template = ScenarioTemplate(
+            geometry, PARAMS, scheme=scheme, lazy_events=lazy
+        )
+        for seed in SEEDS:
+            legacy = CenterlineScenario(
+                geometry, PARAMS, scheme=scheme, seed=seed
+            ).run()
+            replayed = template.replicate(seed).run()
+            assert _outcome_key(replayed) == _outcome_key(legacy), (
+                f"k={capacity} {scheme.name} lazy={lazy} seed={seed}"
+            )
+
+    def test_explicit_signal_overrides_draws(self):
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        outcome = template.replicate(
+            3, onset_position=1.0, signal_duration=4.0
+        ).run()
+        legacy = CenterlineScenario(
+            geometry,
+            PARAMS,
+            scheme=Scheme.OAQ,
+            onset_position=1.0,
+            signal_duration=4.0,
+            seed=3,
+        ).run()
+        assert _outcome_key(outcome) == _outcome_key(legacy)
+
+    def test_fail_silent_matches_fresh_scenario(self):
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        for seed in range(40):
+            legacy = CenterlineScenario(
+                geometry,
+                PARAMS,
+                scheme=Scheme.OAQ,
+                fail_silent={"S2": 0.0},
+                seed=seed,
+            ).run()
+            replayed = template.replicate(seed, fail_silent={"S2": 0.0}).run()
+            assert _outcome_key(replayed) == _outcome_key(legacy)
+
+
+class TestReplicationLifecycle:
+    def test_stale_replication_rejected(self):
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        first = template.replicate(0)
+        template.replicate(1)
+        with pytest.raises(ConfigurationError):
+            first.run()
+
+    def test_unknown_fail_silent_name_rejected(self):
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        with pytest.raises(ConfigurationError):
+            template.replicate(0, fail_silent={"S99": 0.0})
+
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    def test_run_level_matches_full_run(self, capacity):
+        """The early-stopping ``run_level`` fast path reports the same
+        (level, detected) pair as the full outcome."""
+        geometry = PARAMS.constellation.plane_geometry(capacity)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        for seed in range(80):
+            level, detected = template.replicate(seed).run_level()
+            outcome = template.replicate(seed).run()
+            assert level == int(outcome.achieved_level)
+            assert detected == (outcome.detection_time is not None)
+
+
+class TestSampleLevels:
+    def test_rejects_mismatched_shapes(self):
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            template.sample_levels(rng, np.zeros(3), np.ones(4))
+
+    def test_rejects_out_of_range_onsets(self):
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            template.sample_levels(
+                rng, np.array([geometry.l1 + 1.0]), np.ones(1)
+            )
+
+    def test_deterministic_under_fixed_seed(self):
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        onsets = np.random.default_rng(1).uniform(0.0, geometry.l1, 200)
+        durations = np.random.default_rng(2).exponential(1 / PARAMS.mu, 200)
+        a_levels, a_detected = template.sample_levels(
+            np.random.default_rng(7), onsets, durations
+        )
+        b_levels, b_detected = template.sample_levels(
+            np.random.default_rng(7), onsets, durations
+        )
+        assert np.array_equal(a_levels, a_levels.astype(a_levels.dtype))
+        assert np.array_equal(a_levels, b_levels)
+        assert np.array_equal(a_detected, b_detected)
+
+    def test_detection_consistent_with_levels(self):
+        """A run that achieved any level > 0 necessarily detected the
+        signal; level 0 (missed) means no detection."""
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        rng = np.random.default_rng(11)
+        onsets = rng.uniform(0.0, geometry.l1, 400)
+        durations = rng.exponential(1 / PARAMS.mu, 400)
+        levels, detected = template.sample_levels(rng, onsets, durations)
+        assert np.all(detected[levels > 0])
+        assert not np.any(detected[levels == 0])
+
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    @pytest.mark.parametrize("scheme", [Scheme.OAQ, Scheme.BAQ])
+    def test_statistically_consistent_with_legacy_path(
+        self, capacity, scheme
+    ):
+        """``sample_levels`` shares one generator across the batch, so
+        it is not draw-order compatible with per-seed scenarios -- the
+        contract is statistical: every legacy level frequency must fall
+        inside the batch estimate's 99.9% Wilson interval."""
+        geometry = PARAMS.constellation.plane_geometry(capacity)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=scheme)
+        samples = 1500
+        rng = np.random.default_rng(42)
+        onsets = rng.uniform(0.0, geometry.l1, samples)
+        durations = rng.exponential(1 / PARAMS.mu, samples)
+        levels, _ = template.sample_levels(rng, onsets, durations)
+
+        legacy_counts = np.zeros(4, dtype=int)
+        for seed in range(600):
+            outcome = CenterlineScenario(
+                geometry, PARAMS, scheme=scheme, seed=seed
+            ).run()
+            legacy_counts[int(outcome.achieved_level)] += 1
+        for level in range(4):
+            batch_count = int(np.count_nonzero(levels == level))
+            interval = wilson_interval(batch_count, samples, confidence=0.999)
+            legacy_rate = legacy_counts[level] / 600
+            slack = 0.045  # finite legacy sample's own noise
+            assert interval.low - slack <= legacy_rate <= interval.high + slack
+
+
+class TestStageTimings:
+    def test_stages_accumulate_and_reset(self):
+        reset_batch_stage_timings()
+        geometry = PARAMS.constellation.plane_geometry(9)
+        template = ScenarioTemplate(geometry, PARAMS, scheme=Scheme.OAQ)
+        template.replicate(0).run()
+        rng = np.random.default_rng(0)
+        template.sample_levels(
+            rng,
+            rng.uniform(0.0, geometry.l1, 10),
+            rng.exponential(1 / PARAMS.mu, 10),
+        )
+        timings = batch_stage_timings()
+        assert set(timings) == {"template", "replicate", "run"}
+        assert all(value > 0.0 for value in timings.values())
+        reset_batch_stage_timings()
+        assert all(
+            value == 0.0 for value in batch_stage_timings().values()
+        )

@@ -3,6 +3,7 @@ must agree with the closed-form model."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analytic.qos_model import conditional_distribution
 from repro.core.config import EvaluationParams
@@ -10,9 +11,29 @@ from repro.core.qos import QoSLevel
 from repro.core.schemes import Scheme
 from repro.errors import ConfigurationError
 from repro.simulation.qos_montecarlo import (
+    classify_qos_levels,
+    draw_signal_variates,
     sample_qos_level,
     simulate_conditional_distribution,
+    simulate_conditional_distribution_protocol,
+    simulate_paired_conditional_distributions,
 )
+
+
+class _ScriptedGenerator:
+    """A generator stub feeding ``sample_qos_level`` a prescribed
+    ``(onset, duration, computation)`` triple, so the scalar rules can
+    be evaluated on exactly the same inputs as the vectorised ones."""
+
+    def __init__(self, onset, duration, computation):
+        self._uniform = [onset]
+        self._exponential = [duration, computation]
+
+    def uniform(self, low, high):
+        return self._uniform.pop(0)
+
+    def exponential(self, scale):
+        return self._exponential.pop(0)
 
 
 @pytest.fixture
@@ -118,3 +139,277 @@ class TestVectorisedSampler:
         assert fast[QoSLevel.SIMULTANEOUS_DUAL] == pytest.approx(
             analytic[QoSLevel.SIMULTANEOUS_DUAL], abs=0.005
         )
+
+    @pytest.mark.parametrize("k", [9, 12])
+    @pytest.mark.parametrize("scheme", [Scheme.OAQ, Scheme.BAQ])
+    def test_classify_element_for_element_equals_scalar(self, params, k, scheme):
+        """Seeded equivalence across all four branches: the vectorised
+        classifier and the scalar specification agree on every single
+        ``(onset, duration, computation)`` triple, not just in
+        distribution."""
+        geometry = params.constellation.plane_geometry(k)
+        rng = np.random.default_rng(1234)
+        onsets = rng.uniform(0.0, geometry.l1, 800)
+        durations = rng.exponential(1.0 / params.mu, 800)
+        computations = rng.exponential(1.0 / params.nu, 800)
+        batched = classify_qos_levels(
+            geometry, params, scheme, onsets, durations, computations
+        )
+        for index in range(800):
+            scripted = _ScriptedGenerator(
+                onsets[index], durations[index], computations[index]
+            )
+            scalar = sample_qos_level(geometry, params, scheme, scripted)
+            assert int(batched[index]) == int(scalar), (
+                f"k={k} {scheme.name} triple #{index}: "
+                f"onset={onsets[index]}, duration={durations[index]}, "
+                f"computation={computations[index]}"
+            )
+
+    def test_classify_rejects_mismatched_shapes(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        with pytest.raises(ConfigurationError):
+            classify_qos_levels(
+                geometry,
+                params,
+                Scheme.OAQ,
+                np.zeros(3),
+                np.ones(3),
+                np.ones(4),
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        samples=st.integers(min_value=1, max_value=500),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        k=st.sampled_from([9, 12]),
+        scheme=st.sampled_from([Scheme.OAQ, Scheme.BAQ]),
+    )
+    def test_distribution_is_proper_for_any_batch(
+        self, samples, seed, k, scheme
+    ):
+        """Hypothesis property: the batched counts always sum to
+        ``samples`` (probabilities to 1) and every level with mass lies
+        in the valid QoS spectrum for the regime."""
+        params = EvaluationParams(signal_termination_rate=0.2)
+        geometry = params.constellation.plane_geometry(k)
+        distribution = simulate_conditional_distribution(
+            geometry, params, scheme, samples=samples, seed=seed
+        )
+        total = sum(distribution[level] for level in QoSLevel)
+        assert total == pytest.approx(1.0, abs=1e-12)
+        support = {level for level in QoSLevel if distribution[level] > 0.0}
+        if geometry.overlapping:
+            assert support <= {QoSLevel.SINGLE, QoSLevel.SIMULTANEOUS_DUAL}
+        else:
+            assert support <= {
+                QoSLevel.MISSED,
+                QoSLevel.SINGLE,
+                QoSLevel.SEQUENTIAL_DUAL,
+            }
+
+
+class TestVarianceReduction:
+    """The CRN / stratification / antithetic knobs must preserve the
+    estimated distribution (validated against the closed forms) while
+    only restructuring the sampling noise."""
+
+    @pytest.mark.parametrize("onset_sampling", ["uniform", "stratified"])
+    @pytest.mark.parametrize("antithetic", [False, True])
+    @pytest.mark.parametrize("k", [9, 12])
+    def test_reduced_variance_paths_match_closed_form(
+        self, params, onset_sampling, antithetic, k
+    ):
+        geometry = params.constellation.plane_geometry(k)
+        analytic = conditional_distribution(geometry, params, Scheme.OAQ)
+        estimate = simulate_conditional_distribution(
+            geometry,
+            params,
+            Scheme.OAQ,
+            samples=60_000,
+            seed=21,
+            onset_sampling=onset_sampling,
+            antithetic=antithetic,
+        )
+        for level in QoSLevel:
+            assert estimate[level] == pytest.approx(analytic[level], abs=0.01)
+
+    def test_antithetic_mirrors_are_exact(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        samples = 1000
+        onset, duration, computation = draw_signal_variates(
+            geometry,
+            params,
+            samples,
+            np.random.default_rng(3),
+            antithetic=True,
+        )
+        half = samples // 2
+        assert np.allclose(onset[half:], geometry.l1 - onset[:half])
+        # Exponential mirrors flip through the CDF: F(x) + F(x') = 1.
+        cdf = 1.0 - np.exp(-params.mu * duration)
+        assert np.allclose(cdf[:half] + cdf[half:], 1.0)
+
+    def test_stratified_onsets_keep_marginal_uniform(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        onset, _, _ = draw_signal_variates(
+            geometry,
+            params,
+            40_000,
+            np.random.default_rng(4),
+            onset_sampling="stratified",
+        )
+        assert onset.min() >= 0.0 and onset.max() <= geometry.l1
+        # Proportional allocation pins each stratum's share exactly.
+        alpha = geometry.single_coverage_length
+        in_alpha = np.count_nonzero(onset < alpha)
+        assert in_alpha / 40_000 == pytest.approx(alpha / geometry.l1, abs=2e-4)
+
+    def test_stratification_shrinks_onset_driven_variance(self, params):
+        """Replicated small-sample estimates of P(Y=2|9): stratified
+        onsets must not be worse than independent uniform onsets (the
+        between-strata variance component is removed)."""
+        geometry = params.constellation.plane_geometry(9)
+
+        def spread(onset_sampling):
+            values = [
+                simulate_conditional_distribution(
+                    geometry,
+                    params,
+                    Scheme.OAQ,
+                    samples=400,
+                    seed=seed,
+                    onset_sampling=onset_sampling,
+                )[QoSLevel.SEQUENTIAL_DUAL]
+                for seed in range(60)
+            ]
+            return float(np.var(values))
+
+        assert spread("stratified") <= spread("uniform") * 1.1
+
+    @pytest.mark.parametrize("k", [9, 12])
+    def test_crn_pairing_orders_schemes_per_draw(self, params, k):
+        """On common random numbers OAQ dominates BAQ *sample by
+        sample* (BAQ's success sets are subsets of OAQ's), so the CRN
+        estimate of the scheme gap carries no crossing noise."""
+        geometry = params.constellation.plane_geometry(k)
+        rng = np.random.default_rng(17)
+        onset, duration, computation = draw_signal_variates(
+            geometry, params, 20_000, rng
+        )
+        oaq = classify_qos_levels(
+            geometry, params, Scheme.OAQ, onset, duration, computation
+        )
+        baq = classify_qos_levels(
+            geometry, params, Scheme.BAQ, onset, duration, computation
+        )
+        assert np.all(oaq >= baq)
+
+    def test_paired_distributions_match_independent_estimates(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        paired = simulate_paired_conditional_distributions(
+            geometry,
+            params,
+            [Scheme.OAQ, Scheme.BAQ],
+            samples=50_000,
+            seed=8,
+        )
+        assert set(paired) == {Scheme.OAQ, Scheme.BAQ}
+        for scheme in (Scheme.OAQ, Scheme.BAQ):
+            analytic = conditional_distribution(geometry, params, scheme)
+            for level in QoSLevel:
+                assert paired[scheme][level] == pytest.approx(
+                    analytic[level], abs=0.01
+                )
+
+    def test_draw_signal_variates_rejects_unknown_sampling(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        with pytest.raises(ConfigurationError):
+            draw_signal_variates(
+                geometry,
+                params,
+                10,
+                np.random.default_rng(0),
+                onset_sampling="sobol",
+            )
+
+
+class TestProtocolSamplerSeeding:
+    """Seed hygiene: per-sample seeds must come from
+    ``SeedSequence.spawn`` children, not truncated ``rng.integers``
+    draws (which collide across cells and discard root entropy)."""
+
+    def test_legacy_path_is_pinned_to_spawned_children(self, params):
+        """Regression: ``batched=False`` consumes exactly the spawned
+        child sequence, bit for bit."""
+        from repro.protocol.runner import CenterlineScenario
+
+        geometry = params.constellation.plane_geometry(9)
+        samples, seed = 60, 2024
+        via_sampler = simulate_conditional_distribution_protocol(
+            geometry,
+            params,
+            Scheme.OAQ,
+            samples=samples,
+            seed=seed,
+            batched=False,
+        )
+        counts = {level: 0 for level in QoSLevel}
+        for child in np.random.SeedSequence(seed).spawn(samples):
+            outcome = CenterlineScenario(
+                geometry, params, scheme=Scheme.OAQ, seed=child
+            ).run()
+            counts[outcome.achieved_level] += 1
+        for level in QoSLevel:
+            assert via_sampler[level] == counts[level] / samples
+
+    def test_spawned_children_are_distinct_streams(self):
+        children = np.random.SeedSequence(0).spawn(512)
+        first_words = {
+            int(child.generate_state(1, dtype=np.uint64)[0])
+            for child in children
+        }
+        assert len(first_words) == 512
+
+    def test_batched_path_reproducible_and_seed_sensitive(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        a = simulate_conditional_distribution_protocol(
+            geometry, params, Scheme.OAQ, samples=300, seed=5
+        )
+        b = simulate_conditional_distribution_protocol(
+            geometry, params, Scheme.OAQ, samples=300, seed=5
+        )
+        c = simulate_conditional_distribution_protocol(
+            geometry, params, Scheme.OAQ, samples=300, seed=6
+        )
+        assert a == b
+        assert a != c
+
+    def test_batched_variance_reduction_matches_plain_estimate(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        plain = simulate_conditional_distribution_protocol(
+            geometry, params, Scheme.OAQ, samples=1200, seed=9
+        )
+        reduced = simulate_conditional_distribution_protocol(
+            geometry,
+            params,
+            Scheme.OAQ,
+            samples=1200,
+            seed=9,
+            onset_sampling="stratified",
+            antithetic=True,
+        )
+        for level in QoSLevel:
+            assert reduced[level] == pytest.approx(plain[level], abs=0.06)
+
+    def test_legacy_path_rejects_variance_reduction(self, params):
+        geometry = params.constellation.plane_geometry(9)
+        with pytest.raises(ConfigurationError):
+            simulate_conditional_distribution_protocol(
+                geometry,
+                params,
+                Scheme.OAQ,
+                samples=10,
+                batched=False,
+                antithetic=True,
+            )
