@@ -1,0 +1,130 @@
+"""Benchmark ``lumping``: the symmetry-quotient acceptance guard.
+
+The per-satellite **expanded** capacity SAN
+(:func:`repro.analytic.capacity.build_capacity_san_expanded`) makes the
+paper's plane explicit -- one place per satellite -- and its tangible
+space grows to 16,386 markings at paper size.  The verified symmetry
+quotient (:mod:`repro.san.lumping`) collapses those to 17 orbit
+representatives.  This guard pins both contract numbers on a
+paper-size ``lambda`` sweep:
+
+* **>= 5x state reduction** (measured: ~964x), and
+* **>= 3x end-to-end speedup** of the lumped sweep over the unlumped
+  expanded sweep, with both paths using the PR-3 machinery (shared
+  topology, re-rate per point, warm-started solves) so the speedup is
+  attributable to lumping alone,
+
+while agreeing with the unlumped answer on every ``P(k)`` to 1e-12.
+
+Numbers land in ``BENCH_lumping.json`` at the repository root for the
+CI artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analytic.capacity import (
+    CapacityModelConfig,
+    capacity_distribution_expanded,
+    capacity_solver_stats,
+    capacity_stage_timings,
+    clear_capacity_caches,
+    expanded_capacity_summary,
+)
+
+#: Erlang stages for the deterministic timers.  The contract is about
+#: state-space size, so one stage keeps the unlumped baseline (16,386
+#: states) solvable in benchmark time; the quotient is exact at any
+#: stage count (see the ablation's lumped column for stages up to 32).
+STAGES = 1
+
+POINTS = 6
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _sweep_configs():
+    return [
+        CapacityModelConfig(failure_rate_per_hour=i * 9.6e-5 / POINTS)
+        for i in range(1, POINTS + 1)
+    ]
+
+
+def test_bench_lumping_speedup_and_reduction(run_once):
+    """Acceptance guard: >= 5x state reduction, >= 3x sweep speedup,
+    P(k) agreement <= 1e-12 between lumped and unlumped."""
+    configs = _sweep_configs()
+
+    clear_capacity_caches(reset_stats=True)
+    start = time.perf_counter()
+    baseline = [
+        capacity_distribution_expanded(config, stages=STAGES, lump=False)
+        for config in configs
+    ]
+    baseline_seconds = time.perf_counter() - start
+    baseline_stats = capacity_solver_stats()
+
+    clear_capacity_caches(reset_stats=True)
+
+    def lumped_sweep():
+        return [
+            capacity_distribution_expanded(config, stages=STAGES, lump=True)
+            for config in configs
+        ]
+
+    start = time.perf_counter()
+    lumped = run_once(lumped_sweep)
+    lumped_seconds = time.perf_counter() - start
+
+    stats = capacity_solver_stats()
+    timings = capacity_stage_timings()
+    summary = expanded_capacity_summary(configs[0], stages=STAGES)
+    reduction = summary["marking_reduction"]
+
+    max_deviation = max(
+        abs(baseline_row.get(k, 0.0) - lumped_row.get(k, 0.0))
+        for baseline_row, lumped_row in zip(baseline, lumped)
+        for k in set(baseline_row) | set(lumped_row)
+    )
+    speedup = baseline_seconds / lumped_seconds
+
+    payload = {
+        "points": POINTS,
+        "stages": STAGES,
+        "orbit_representatives": summary["orbit_representatives"],
+        "full_tangible_markings": summary["full_tangible_markings"],
+        "state_reduction": round(reduction, 1),
+        "unlumped_s": round(baseline_seconds, 4),
+        "lumped_s": round(lumped_seconds, 4),
+        "speedup": round(speedup, 2),
+        "max_pk_deviation": max_deviation,
+        "baseline_solver_stats": baseline_stats,
+        "lumped_solver_stats": stats,
+        "stage_timings": {k: round(v, 4) for k, v in timings.items()},
+    }
+    (REPO_ROOT / "BENCH_lumping.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(
+        f"\nunlumped {baseline_seconds:.2f}s vs lumped {lumped_seconds:.2f}s "
+        f"-> {speedup:.1f}x; states {summary['full_tangible_markings']} -> "
+        f"{summary['orbit_representatives']} ({reduction:.0f}x); "
+        f"max |dP(k)| = {max_deviation:.2e}"
+    )
+    print(f"lumped solver stats: {stats}")
+
+    # Correctness before speed: the quotient answer must match the full
+    # expanded chain at contract tolerance on every sweep point.
+    assert max_deviation <= 1e-12, (
+        f"lumped sweep deviates from unlumped by {max_deviation:.3e}"
+    )
+    # The lumped path never fell back to the unlumped chain.
+    assert stats["structure_fallbacks"] == 0
+    assert reduction >= 5.0, (
+        f"state reduction {reduction:.1f}x below the 5x floor"
+    )
+    assert speedup >= 3.0, (
+        f"lumping speedup {speedup:.2f}x below the 3x floor "
+        f"(unlumped {baseline_seconds:.3f}s, lumped {lumped_seconds:.3f}s)"
+    )

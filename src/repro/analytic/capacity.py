@@ -81,6 +81,7 @@ from repro.san import (
     Case,
     InputGate,
     InstantaneousActivity,
+    LumpedStateSpace,
     OutputGate,
     Place,
     SANModel,
@@ -90,6 +91,7 @@ from repro.san import (
     assemble,
     from_state_space,
     generate,
+    lumped_state_space,
     steady_state_marking_distribution,
     unfold,
 )
@@ -98,7 +100,9 @@ __all__ = [
     "CapacityModelConfig",
     "assemble_capacity_topology",
     "build_capacity_san",
+    "build_capacity_san_expanded",
     "capacity_distribution",
+    "capacity_distribution_expanded",
     "capacity_distribution_simulated",
     "capacity_distribution_exponential",
     "capacity_transient",
@@ -109,6 +113,7 @@ __all__ = [
     "capacity_stage_timings",
     "clear_capacity_caches",
     "configure_capacity_caches",
+    "expanded_capacity_summary",
     "seed_capacity_cache",
 ]
 
@@ -293,6 +298,114 @@ def build_capacity_san(
     )
 
 
+def _satellite_names(full: int) -> Tuple[str, ...]:
+    return tuple(f"sat_{i}" for i in range(1, full + 1))
+
+
+def build_capacity_san_expanded(config: CapacityModelConfig) -> SANModel:
+    """The *per-satellite* formulation of the orbital-plane SAN.
+
+    Instead of one counter place ``active``, every satellite gets its
+    own binary place ``sat_i`` -- the natural formulation when
+    satellites carry identity (per-satellite rewards, heterogeneous
+    extensions) and the stress test for state lumping: the tangible
+    state space is exponential in the satellite count
+    (:math:`2^{\\text{full}} + \\text{spares}` markings versus the
+    counted model's handful), but every permutation of the identical
+    satellites is a symmetry, declared via ``exchangeable_groups`` and
+    collapsed exactly by :mod:`repro.san.lumping`.  The quotient is the
+    counted model's chain, so ``P(k)`` matches
+    :func:`capacity_distribution` to solver precision.
+
+    Repairs (spare deployment, replacement arrival) pick the satellite
+    to restore *uniformly among the failed ones* -- the choice is
+    probabilistically irrelevant for identical satellites, and the
+    uniform tie-break is what keeps the model exactly symmetric (a
+    deterministic "lowest index first" rule would break exact
+    lumpability: low-index satellites would accumulate more uptime).
+    """
+    full = config.full_capacity
+    eta = config.threshold
+    sats = _satellite_names(full)
+
+    places = [Place(s, 1) for s in sats] + [
+        Place("spares", config.in_orbit_spares),
+        Place("pending", 0),
+    ]
+
+    failures = [
+        TimedActivity.exponential(
+            f"failure_{i}",
+            config.failure_rate_per_hour,
+            input_arcs={s: 1},
+        )
+        for i, s in enumerate(sats, 1)
+    ]
+
+    def down_count(m) -> int:
+        return sum(1 - m[s] for s in sats)
+
+    def repair_case(s: str) -> Case:
+        def probability(m) -> float:
+            down = down_count(m)
+            return (1 - m[s]) / down if down else 0.0
+
+        return Case(probability=probability, output_arcs={s: 1})
+
+    def restore_full(m) -> None:
+        for s in sats:
+            m[s] = 1
+        m["spares"] = config.in_orbit_spares
+        m["pending"] = 0
+
+    scheduled = TimedActivity(
+        "scheduled_deployment",
+        Deterministic(config.scheduled_period_hours),
+        input_gates=[InputGate("always", predicate=lambda m: True)],
+        cases=[Case(output_gates=[OutputGate("restore_full", restore_full)])],
+    )
+
+    replacement_arrival = TimedActivity(
+        "replacement_arrival",
+        Deterministic(config.replacement_latency_hours),
+        input_arcs={"pending": 1},
+        cases=[repair_case(s) for s in sats],
+    )
+
+    deploy_spare = InstantaneousActivity(
+        "deploy_in_orbit_spare",
+        priority=2,
+        input_arcs={"spares": 1},
+        input_gates=[
+            InputGate("slot_open", predicate=lambda m: down_count(m) > 0)
+        ],
+        cases=[repair_case(s) for s in sats],
+    )
+
+    threshold_trigger = InstantaneousActivity(
+        "threshold_trigger",
+        priority=1,
+        input_gates=[
+            InputGate(
+                "below_threshold",
+                predicate=lambda m: (
+                    m["spares"] == 0
+                    and (full - down_count(m)) + m["pending"] < eta
+                ),
+            )
+        ],
+        cases=[Case(output_arcs={"pending": 1})],
+    )
+
+    return SANModel(
+        places,
+        timed_activities=[*failures, scheduled, replacement_arrival],
+        instantaneous_activities=[deploy_spare, threshold_trigger],
+        name="orbital-plane-capacity-expanded",
+        exchangeable_groups=[sats],
+    )
+
+
 # ----------------------------------------------------------------------
 # Memoization layer
 # ----------------------------------------------------------------------
@@ -310,7 +423,13 @@ _CACHING_ENABLED = True
 # this process.  The experiment engine reports run-level deltas of
 # these; benchmarks and tests read them directly.
 _STATS_LOCK = threading.Lock()
-_STAGE_TIMINGS = {"assemble": 0.0, "rerate": 0.0, "solve": 0.0}
+_STAGE_TIMINGS = {
+    "assemble": 0.0,
+    "refine": 0.0,
+    "quotient": 0.0,
+    "rerate": 0.0,
+    "solve": 0.0,
+}
 _SOLVER_STATS = {
     "direct": 0,
     "iterative": 0,
@@ -333,10 +452,14 @@ def _timed(stage: str) -> Iterator[None]:
 
 
 def capacity_stage_timings() -> Dict[str, float]:
-    """Cumulative seconds this process spent in the three solver
-    stages: ``assemble`` (reachability + array-native unfolding),
-    ``rerate`` (rate evaluation + CTMC build) and ``solve``
-    (steady-state linear algebra)."""
+    """Cumulative seconds this process spent in the solver stages:
+    ``assemble`` (reachability + array-native unfolding), ``refine``
+    (symmetry verification: canonical-orbit reachability of the
+    expanded model), ``quotient`` (assembling the reduced chain from
+    the verified orbit space), ``rerate`` (rate evaluation + CTMC
+    build) and ``solve`` (steady-state linear algebra).  ``refine`` and
+    ``quotient`` accrue once per lumped topology however many rate
+    points are swept on it -- the composition the lumping tests pin."""
     with _STATS_LOCK:
         return dict(_STAGE_TIMINGS)
 
@@ -533,6 +656,27 @@ def _solve_full_rebuild(
     return _marking_capacity_distribution(marking_probs, model)
 
 
+def _steady_state_marking_marginals(entry: _AssembledTopology, model: SANModel):
+    """Re-rate ``entry``'s chain from ``model``, solve (warm-started)
+    and return the tangible-marking marginals.  A structural mismatch
+    propagates as :class:`ModelError` for the caller's fallback."""
+    chain = entry.chain
+    with _timed("rerate"):
+        ctmc = chain.rerate(model)
+    with _timed("solve"):
+        with entry.lock:
+            warm_start = entry.warm_start if _CACHING_ENABLED else None
+            solution = ctmc.steady_state_solve(
+                method="auto",
+                warm_start=warm_start,
+                prepare_warm_start=_CACHING_ENABLED,
+            )
+            if _CACHING_ENABLED and solution.warm_start is not None:
+                entry.warm_start = solution.warm_start
+        _note_solution(solution)
+    return chain.marking_marginals(solution.pi)
+
+
 def capacity_distribution(
     config: CapacityModelConfig, *, stages: int = 24
 ) -> Dict[int, float]:
@@ -554,11 +698,9 @@ def capacity_distribution(
 
     def solve() -> Dict[int, float]:
         entry = _assembled_topology(config, stages)
-        chain = entry.chain
         model = build_capacity_san(config)
         try:
-            with _timed("rerate"):
-                ctmc = chain.rerate(model)
+            marginals = _steady_state_marking_marginals(entry, model)
         except ModelError:
             # The new config changed the structure (should not happen
             # for capacity configs -- the topology key covers every
@@ -566,27 +708,129 @@ def capacity_distribution(
             with _STATS_LOCK:
                 _SOLVER_STATS["structure_fallbacks"] += 1
             return _solve_full_rebuild(config, stages)
-        with _timed("solve"):
-            with entry.lock:
-                warm_start = entry.warm_start if _CACHING_ENABLED else None
-                solution = ctmc.steady_state_solve(
-                    method="auto",
-                    warm_start=warm_start,
-                    prepare_warm_start=_CACHING_ENABLED,
-                )
-                if _CACHING_ENABLED and solution.warm_start is not None:
-                    entry.warm_start = solution.warm_start
-            _note_solution(solution)
-        marginals = chain.marking_marginals(solution.pi)
         position = model.place_index.position("active")
         result: Dict[int, float] = {}
-        for marking, probability in zip(chain.space.markings, marginals.tolist()):
+        for marking, probability in zip(
+            entry.chain.space.markings, marginals.tolist()
+        ):
             k = marking[position]
             result[k] = result.get(k, 0.0) + probability
         return {k: result[k] for k in sorted(result)}
 
     result = _memoized(_DISTRIBUTION_CACHE, (config, stages, "erlang"), solve)
     return dict(result)
+
+
+# ----------------------------------------------------------------------
+# Expanded (per-satellite) model: the lumping showcase
+# ----------------------------------------------------------------------
+def _expanded_topology_key(
+    config: CapacityModelConfig, stages: int, lumped: bool
+) -> Tuple:
+    """Lumping-aware topology key: the quotient and the full expanded
+    structures are distinct cache entries (different state spaces,
+    different warm-start vectors)."""
+    return ("expanded", bool(lumped)) + _topology_key(config, stages)
+
+
+def _expanded_assembled_topology(
+    config: CapacityModelConfig, stages: int, *, lumped: bool
+) -> _AssembledTopology:
+    def build() -> _AssembledTopology:
+        model = build_capacity_san_expanded(config)
+        if lumped:
+            # Refine once per topology: the canonical-orbit reachability
+            # (symmetry verification included) and the quotient assembly
+            # are cached with the chain, so a rate sweep pays them once
+            # and re-rates per point, exactly like the counted path.
+            with _timed("refine"):
+                space = lumped_state_space(model)
+            with _timed("quotient"):
+                chain = assemble(space, stages=stages)
+        else:
+            with _timed("assemble"):
+                space = generate(model)
+                chain = assemble(space, stages=stages)
+        return _AssembledTopology(chain)
+
+    return _memoized(
+        _ASSEMBLE_CACHE, _expanded_topology_key(config, stages, lumped), build
+    )
+
+
+def _solve_expanded_pk(
+    entry: _AssembledTopology, config: CapacityModelConfig
+) -> Dict[int, float]:
+    model = build_capacity_san_expanded(config)
+    marginals = _steady_state_marking_marginals(entry, model)
+    positions = [
+        model.place_index.position(s)
+        for s in _satellite_names(config.full_capacity)
+    ]
+    result: Dict[int, float] = {}
+    for marking, probability in zip(
+        entry.chain.space.markings, marginals.tolist()
+    ):
+        k = sum(marking[p] for p in positions)
+        result[k] = result.get(k, 0.0) + probability
+    return {k: result[k] for k in sorted(result)}
+
+
+def capacity_distribution_expanded(
+    config: CapacityModelConfig, *, stages: int = 24, lump: bool = True
+) -> Dict[int, float]:
+    """Steady-state ``P(k)`` of the per-satellite expanded plane model
+    (:func:`build_capacity_san_expanded`).
+
+    With ``lump`` (the default) the chain is built on the verified
+    orbit quotient (:func:`repro.san.lumping.lumped_state_space`):
+    state count collapses from :math:`O(2^{\\text{satellites}})` to the
+    counted model's handful, which is what makes scaled constellations
+    (:mod:`repro.experiments.scaled_capacity_exp`) solvable at all.
+    Any :class:`ModelError` on the lumped path -- a non-lumpable model
+    variant, a broken symmetry -- falls back to the unlumped expanded
+    chain (counted in ``structure_fallbacks``).
+
+    Memoized and topology-split like :func:`capacity_distribution`:
+    rate sweeps refine/assemble once per topology, re-rate per point
+    and warm-start successive solves.
+    """
+
+    def solve() -> Dict[int, float]:
+        if lump:
+            try:
+                entry = _expanded_assembled_topology(
+                    config, stages, lumped=True
+                )
+                return _solve_expanded_pk(entry, config)
+            except ModelError:
+                with _STATS_LOCK:
+                    _SOLVER_STATS["structure_fallbacks"] += 1
+        entry = _expanded_assembled_topology(config, stages, lumped=False)
+        return _solve_expanded_pk(entry, config)
+
+    variant = "expanded-lumped" if lump else "expanded-full"
+    result = _memoized(_DISTRIBUTION_CACHE, (config, stages, variant), solve)
+    return dict(result)
+
+
+def expanded_capacity_summary(
+    config: CapacityModelConfig, *, stages: int = 24
+) -> Dict[str, object]:
+    """Size accounting of the lumped expanded topology: how many orbit
+    representatives stand for how many tangible markings, and the
+    unfolded quotient's dimensions.  Builds (and caches) the lumped
+    topology as a side effect."""
+    entry = _expanded_assembled_topology(config, stages, lumped=True)
+    space = entry.chain.space
+    assert isinstance(space, LumpedStateSpace)
+    return {
+        "orbit_representatives": len(space),
+        "full_tangible_markings": space.full_state_count,
+        "marking_reduction": space.full_state_count / len(space),
+        "quotient_states": entry.chain.num_states,
+        "quotient_transitions": entry.chain.num_transitions,
+    }
 
 
 def capacity_distribution_exponential(

@@ -27,13 +27,30 @@ Design notes
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, List, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["CacheStats", "LRUSolveCache"]
+__all__ = ["CacheStats", "LRUSolveCache", "cache_stats"]
+
+#: Weak registry of every live cache, keyed by name (latest wins on a
+#: name collision).  Lets diagnostics enumerate caches without keeping
+#: short-lived test caches alive.
+_REGISTRY: "weakref.WeakValueDictionary[str, LRUSolveCache]" = (
+    weakref.WeakValueDictionary()
+)
+_REGISTRY_LOCK = threading.Lock()
+
+
+def cache_stats() -> Dict[str, CacheStats]:
+    """Name-keyed :meth:`LRUSolveCache.stats` snapshots of every live
+    cache, for experiment metadata and diagnostics."""
+    with _REGISTRY_LOCK:
+        caches = list(_REGISTRY.items())
+    return {name: cache.stats() for name, cache in sorted(caches)}
 
 
 @dataclass(frozen=True)
@@ -83,6 +100,8 @@ class LRUSolveCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        with _REGISTRY_LOCK:
+            _REGISTRY[name] = self
 
     # ------------------------------------------------------------------
     # Core protocol

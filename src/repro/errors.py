@@ -30,14 +30,26 @@ class SolverError(ReproError):
 
 class StateSpaceExplosionError(ModelError):
     """Reachability-graph generation exceeded the configured state
-    budget."""
+    budget.
 
-    def __init__(self, limit: int):
-        super().__init__(
-            f"state-space generation exceeded the limit of {limit} markings; "
-            "raise max_states or simplify the model"
+    Carries the ``limit`` that was exceeded and (when the generator can
+    provide it) the ``marking`` whose interning tripped the limit, so
+    the offending corner of the state space is visible without
+    re-running under a debugger.
+    """
+
+    def __init__(self, limit: int, marking=None):
+        message = f"state-space generation exceeded the limit of {limit} markings"
+        if marking is not None:
+            message += f" while interning marking {marking}"
+        message += (
+            "; raise max_states, declare exchangeable place groups and use "
+            "state lumping (repro.san.lumping) to collapse symmetric "
+            "states, or simplify the model"
         )
+        super().__init__(message)
         self.limit = limit
+        self.marking = marking
 
 
 class ProtocolError(ReproError):

@@ -20,6 +20,7 @@ from repro.experiments import (
     protocol_exp,
     robustness_exp,
     san_ablation,
+    scaled_capacity_exp,
     sweeps,
     table1,
     text_results,
@@ -46,6 +47,7 @@ __all__ = [
     "protocol_exp",
     "robustness_exp",
     "san_ablation",
+    "scaled_capacity_exp",
     "sweeps",
     "table1",
     "text_results",

@@ -5,11 +5,19 @@ Usage::
     python -m repro.experiments            # quick set (analytic only)
     python -m repro.experiments --full     # everything, incl. simulation
     python -m repro.experiments --plots    # + ASCII charts of the figures
+    python -m repro.experiments --profile  # + profile_<id>.pstats per run
+
+Profiles are standard :mod:`cProfile` dumps; inspect them with
+``python -m pstats profile_fig7.pstats`` (then ``sort cumtime`` /
+``stats 20``) or any pstats viewer such as snakeviz.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import os
+from typing import Callable, Optional
 
 from repro.experiments import (
     aging_exp,
@@ -26,10 +34,12 @@ from repro.experiments import (
     protocol_exp,
     robustness_exp,
     san_ablation,
+    scaled_capacity_exp,
     sweeps,
     table1,
     text_results,
 )
+from repro.experiments.report import ExperimentResult
 
 
 def _plot(result, x_header: str) -> str:
@@ -53,6 +63,30 @@ def _plot(result, x_header: str) -> str:
     return line_chart(series, title=f"[{result.experiment_id}] {result.title}")
 
 
+def run_experiment(
+    run_fn: Callable[[], ExperimentResult],
+    *,
+    profile: bool = False,
+    profile_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Run one experiment callable, optionally under :mod:`cProfile`.
+
+    With ``profile``, the run happens inside a profiler and the stats
+    are dumped to ``profile_<experiment_id>.pstats`` in ``profile_dir``
+    (default: the current directory).  The result is returned either
+    way, so profiling never changes what gets printed.
+    """
+    if not profile:
+        return run_fn()
+    profiler = cProfile.Profile()
+    result = profiler.runcall(run_fn)
+    path = os.path.join(
+        profile_dir or os.curdir, f"profile_{result.experiment_id}.pstats"
+    )
+    profiler.dump_stats(path)
+    return result
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -65,41 +99,53 @@ def main() -> None:
         action="store_true",
         help="render the figure experiments as ASCII charts too",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile each experiment with cProfile and dump "
+            "profile_<experiment>.pstats (inspect with python -m pstats "
+            "or snakeviz)"
+        ),
+    )
     args = parser.parse_args()
 
     figure_x_headers = {"fig7": "lambda", "fig8": "lambda", "fig9": "lambda",
                         "tau-sweep": "tau", "mu-sweep": "mean duration"}
     sections = [
-        table1.run(),
-        geometry_exp.run(),
-        text_results.run(),
-        fig7.run(),
-        fig8.run(),
-        fig9.run(),
-        sweeps.run_tau_sweep(),
-        sweeps.run_mu_sweep(),
-        robustness_exp.run(),
-        aging_exp.run(),
-        multiplane_exp.run(),
+        table1.run,
+        geometry_exp.run,
+        text_results.run,
+        fig7.run,
+        fig8.run,
+        fig9.run,
+        sweeps.run_tau_sweep,
+        sweeps.run_mu_sweep,
+        robustness_exp.run,
+        aging_exp.run,
+        multiplane_exp.run,
     ]
-    for result in sections:
+    for run_fn in sections:
+        result = run_experiment(run_fn, profile=args.profile)
         print(result.render())
         print()
         if args.plots and result.experiment_id in figure_x_headers:
             print(_plot(result, figure_x_headers[result.experiment_id]))
             print()
     if args.full:
-        for result in (
-            montecarlo_exp.run_conditional_validation(),
-            montecarlo_exp.run_capacity_validation(),
-            protocol_exp.run(),
-            geolocation_exp.run(),
-            orbits_exp.run_constants(),
-            orbits_exp.run_latitude_profile(),
-            san_ablation.run(),
-            calibration_exp.run(),
-            faults_exp.run(),
+        for run_fn in (
+            montecarlo_exp.run_conditional_validation,
+            montecarlo_exp.run_capacity_validation,
+            protocol_exp.run,
+            geolocation_exp.run,
+            orbits_exp.run_constants,
+            orbits_exp.run_latitude_profile,
+            san_ablation.run,
+            scaled_capacity_exp.run,
+            calibration_exp.run,
+            faults_exp.run,
         ):
+            result = run_experiment(run_fn, profile=args.profile)
             print(result.render())
             print()
 

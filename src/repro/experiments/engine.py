@@ -30,10 +30,12 @@ both facts:
   previous point's solution.
 
 Per-stage wall-clock timings (``capacity_presolve``, ``rows``,
-``total``, plus the capacity pipeline's ``assemble``/``rerate``/
-``solve`` deltas) are recorded into ``ExperimentResult.timings`` so
-the benchmarks can attribute speedups.  See ``docs/SAN_ENGINE.md`` for
-the user guide.
+``total``, plus the capacity pipeline's ``assemble``/``refine``/
+``quotient``/``rerate``/``solve`` deltas) are recorded into
+``ExperimentResult.timings`` so the benchmarks can attribute speedups,
+and a solve-cache statistics snapshot lands in
+``ExperimentResult.metadata["cache_stats"]``.  See
+``docs/SAN_ENGINE.md`` for the user guide.
 """
 
 from __future__ import annotations
@@ -61,6 +63,7 @@ from repro.analytic.capacity import (
     capacity_stage_timings,
     seed_capacity_cache,
 )
+from repro.analytic.solve_cache import cache_stats
 from repro.errors import ConfigurationError
 from repro.experiments.report import ExperimentResult
 from repro.simulation.batch import batch_stage_timings
@@ -204,7 +207,8 @@ class SweepRunner:
         per distinct topology).  The assembled structure is then
         re-rated per point instead of regenerated.
 
-        The ``assemble``/``rerate``/``solve`` timings are deltas of the
+        The ``assemble``/``refine``/``quotient``/``rerate``/``solve``
+        timings are deltas of the
         capacity module's stage accumulators across the run, and the
         ``batch_template``/``batch_replicate``/``batch_run`` timings are
         deltas of the batched-replication engine's accumulators (see
@@ -224,12 +228,25 @@ class SweepRunner:
                 rows = self.map_rows(row_fn, points)
         after = capacity_stage_timings()
         batch_after = batch_stage_timings()
-        for stage in ("assemble", "rerate", "solve"):
+        for stage in ("assemble", "refine", "quotient", "rerate", "solve"):
             timings[stage] = after.get(stage, 0.0) - before.get(stage, 0.0)
         for stage in ("template", "replicate", "run"):
             timings[f"batch_{stage}"] = batch_after.get(
                 stage, 0.0
             ) - batch_before.get(stage, 0.0)
+        metadata: Dict[str, object] = {
+            "cache_stats": {
+                name: {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "size": stats.size,
+                    "maxsize": stats.maxsize,
+                    "hit_rate": stats.hit_rate,
+                }
+                for name, stats in cache_stats().items()
+            }
+        }
         return ExperimentResult(
             experiment_id=experiment_id,
             title=title,
@@ -237,6 +254,7 @@ class SweepRunner:
             rows=rows,
             notes=list(notes),
             timings=timings,
+            metadata=metadata,
         )
 
 

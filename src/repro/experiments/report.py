@@ -23,6 +23,11 @@ class ExperimentResult:
     experiment engine (e.g. ``capacity_presolve``, ``rows``, ``total``)
     so benchmarks can assert where the time went; it is empty for
     experiments that do not time themselves.
+
+    ``metadata`` carries auxiliary diagnostics that are not part of the
+    rendered table -- the engine stores solve-cache statistics under
+    ``"cache_stats"`` (name -> :class:`CacheStats`-shaped dict) so runs
+    can report how much memoization saved.
     """
 
     experiment_id: str
@@ -31,6 +36,7 @@ class ExperimentResult:
     rows: List[Dict[str, object]]
     notes: List[str] = field(default_factory=list)
     timings: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     def column(self, header: str) -> List[object]:
         """All values of one column, in row order."""

@@ -13,6 +13,8 @@ probabilities ``P(k)``:
   activities (UltraSAN supported these natively);
 * :mod:`repro.san.assembled` -- the topology/rate split: array-native
   unfolded chains that re-rate without regeneration;
+* :mod:`repro.san.lumping` -- exact symmetry lumping: canonical-orbit
+  reachability and refinement-verified quotient chains;
 * :mod:`repro.san.simulator` -- discrete-event execution with exact
   deterministic timers, for cross-checking and large models;
 * :mod:`repro.san.reward` -- UltraSAN-style rate rewards.
@@ -30,6 +32,14 @@ from repro.san.ctmc import (
     SteadyStateWarmStart,
     from_state_space,
     marking_probabilities,
+)
+from repro.san.lumping import (
+    LumpedChain,
+    LumpedStateSpace,
+    canonical_marking,
+    lump_assembled,
+    lumped_state_space,
+    orbit_size,
 )
 from repro.san.marking import Marking, MarkingView, PlaceIndex
 from repro.san.model import (
@@ -63,6 +73,8 @@ __all__ = [
     "GeneralTransition",
     "InputGate",
     "InstantaneousActivity",
+    "LumpedChain",
+    "LumpedStateSpace",
     "Marking",
     "MarkingView",
     "MarkovianTransition",
@@ -81,11 +93,15 @@ __all__ = [
     "TimedActivity",
     "UnfoldedChain",
     "assemble",
+    "canonical_marking",
     "expected_reward",
     "from_state_space",
     "generate",
+    "lump_assembled",
     "lumped_state_count",
+    "lumped_state_space",
     "marking_probabilities",
+    "orbit_size",
     "probability_of",
     "replicate_lumped",
     "steady_state_marking_distribution",

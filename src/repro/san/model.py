@@ -274,6 +274,16 @@ class SANModel:
     timed_activities / instantaneous_activities:
         The network's activities.  Names must be unique across both
         kinds.
+    exchangeable_groups:
+        Declared symmetries: each group is a sequence of *members*
+        whose markings may be permuted without changing the model's
+        stochastic behaviour (e.g. the per-satellite places of
+        identical satellites in one plane).  A member is a place name
+        or a tuple of place names (a satellite modelled by several
+        places); members of one group must have the same arity and the
+        groups must be place-disjoint.  The declaration is a
+        *candidate* -- :mod:`repro.san.lumping` verifies it before any
+        quotient is trusted.
     """
 
     def __init__(
@@ -283,6 +293,7 @@ class SANModel:
         instantaneous_activities: Sequence[InstantaneousActivity] = (),
         *,
         name: str = "san",
+        exchangeable_groups: Sequence[Sequence[object]] = (),
     ):
         self.name = name
         self.places = tuple(places)
@@ -295,6 +306,54 @@ class SANModel:
         if len(set(names)) != len(names):
             raise ModelError(f"duplicate activity names: {sorted(names)}")
         self._validate_arcs()
+        self.exchangeable_groups = self._normalise_groups(exchangeable_groups)
+
+    def _normalise_groups(
+        self, groups: Sequence[Sequence[object]]
+    ) -> Tuple[Tuple[Tuple[str, ...], ...], ...]:
+        """Validate and normalise ``exchangeable_groups`` to a tuple of
+        groups, each a tuple of members, each member a tuple of place
+        names."""
+        normalised: List[Tuple[Tuple[str, ...], ...]] = []
+        seen: set = set()
+        for group in groups:
+            members: List[Tuple[str, ...]] = []
+            for member in group:
+                if isinstance(member, str):
+                    member = (member,)
+                member = tuple(member)
+                if not member:
+                    raise ModelError(
+                        f"model {self.name!r}: empty member in an "
+                        "exchangeable group"
+                    )
+                for place in member:
+                    if place not in self.place_index:
+                        raise ModelError(
+                            f"model {self.name!r}: exchangeable group "
+                            f"references unknown place {place!r}"
+                        )
+                    if place in seen:
+                        raise ModelError(
+                            f"model {self.name!r}: place {place!r} appears "
+                            "in more than one exchangeable member; groups "
+                            "must be place-disjoint"
+                        )
+                    seen.add(place)
+                members.append(member)
+            if len(members) < 2:
+                raise ModelError(
+                    f"model {self.name!r}: an exchangeable group needs at "
+                    f"least two members, got {len(members)}"
+                )
+            arities = {len(member) for member in members}
+            if len(arities) != 1:
+                raise ModelError(
+                    f"model {self.name!r}: members of one exchangeable "
+                    f"group must have equal arity, got {sorted(arities)}"
+                )
+            normalised.append(tuple(members))
+        return tuple(normalised)
 
     def _validate_arcs(self) -> None:
         for activity in (*self.timed_activities, *self.instantaneous_activities):

@@ -166,7 +166,9 @@ def generate(model: SANModel, *, max_states: int = 200_000) -> StateSpace:
         if marking in index:
             return index[marking]
         if len(markings) >= max_states:
-            raise StateSpaceExplosionError(max_states)
+            raise StateSpaceExplosionError(
+                max_states, marking=model.marking_dict(marking)
+            )
         index[marking] = len(markings)
         markings.append(marking)
         return index[marking]

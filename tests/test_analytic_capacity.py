@@ -198,9 +198,14 @@ class TestDistributionShape:
             CapacityModelConfig(failure_rate_per_hour=5e-5), stages=8
         )
         timings = capacity_stage_timings()
-        assert set(timings) == {"assemble", "rerate", "solve"}
+        assert set(timings) == {
+            "assemble", "refine", "quotient", "rerate", "solve",
+        }
         assert timings["assemble"] > 0.0
         assert timings["solve"] > 0.0
+        # The counted path never touches the lumping stages.
+        assert timings["refine"] == 0.0
+        assert timings["quotient"] == 0.0
 
     def test_assemble_capacity_topology_is_rate_independent(self):
         """The public structure-phase entry point returns the identical

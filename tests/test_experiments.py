@@ -141,3 +141,45 @@ class TestAblationHelpers:
     def test_total_variation(self):
         assert total_variation({1: 0.5, 2: 0.5}, {1: 0.5, 2: 0.5}) == 0.0
         assert total_variation({1: 1.0}, {2: 1.0}) == 1.0
+
+
+class TestScaledCapacity:
+    def test_scaled_rows_and_shape(self):
+        from repro.experiments import scaled_capacity_exp
+
+        result = scaled_capacity_exp.run(scales=(1, 2))
+        assert result.headers[:3] == ["scale", "satellites", "orbit reps"]
+        assert [row["satellites"] for row in result.rows] == [14, 28]
+        assert [row["orbit reps"] for row in result.rows] == [17, 33]
+        for row in result.rows:
+            assert 0.0 < row["P(K>=eta)"] <= 1.0
+            assert row["E[K]"] <= row["satellites"]
+        # Scaling preserves the per-satellite failure process, so the
+        # normalised expected capacity stays put.
+        normalised = [
+            row["E[K]"] / row["satellites"] for row in result.rows
+        ]
+        assert normalised[1] == pytest.approx(normalised[0], abs=0.01)
+
+
+class TestProfiledRuns:
+    def test_run_experiment_dumps_pstats(self, tmp_path):
+        import pstats
+
+        from repro.experiments import geometry_exp
+        from repro.experiments.__main__ import run_experiment
+
+        result = run_experiment(
+            geometry_exp.run, profile=True, profile_dir=str(tmp_path)
+        )
+        assert isinstance(result, ExperimentResult)
+        path = tmp_path / f"profile_{result.experiment_id}.pstats"
+        assert path.exists()
+        assert pstats.Stats(str(path)).total_calls > 0
+
+    def test_run_experiment_without_profile_writes_nothing(self, tmp_path):
+        from repro.experiments import geometry_exp
+        from repro.experiments.__main__ import run_experiment
+
+        run_experiment(geometry_exp.run, profile=False, profile_dir=str(tmp_path))
+        assert list(tmp_path.iterdir()) == []

@@ -35,6 +35,23 @@ class TestLRUSolveCache:
         assert stats.hit_rate == 0.5
         assert calls == [1]
 
+    def test_module_cache_stats_registry(self):
+        import gc
+
+        from repro.analytic.solve_cache import cache_stats
+
+        cache = LRUSolveCache(maxsize=2, name="registry-probe")
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 1)
+        stats = cache_stats()
+        assert stats["registry-probe"].hits == 1
+        assert stats["registry-probe"].misses == 1
+        # The registry holds weak references: dropping the cache drops
+        # its entry instead of leaking every short-lived test cache.
+        del cache
+        gc.collect()
+        assert "registry-probe" not in cache_stats()
+
     def test_lru_eviction_order(self):
         cache = LRUSolveCache(maxsize=2)
         cache.get_or_compute("a", lambda: "A")
@@ -243,6 +260,8 @@ class TestSweepRunner:
             "rows",
             "total",
             "assemble",
+            "refine",
+            "quotient",
             "rerate",
             "solve",
             "batch_template",
@@ -252,6 +271,33 @@ class TestSweepRunner:
         assert result.timings["total"] >= result.timings["rows"]
         assert all(v >= 0.0 for v in result.timings.values())
         assert result.rows == [{"x": 1, "y": 2}, {"x": 2, "y": 4}]
+
+    def test_run_surfaces_cache_stats_metadata(self):
+        clear_capacity_caches(reset_stats=True)
+        config = CapacityModelConfig()
+
+        def solving_row(point):
+            distribution = capacity_distribution(config, stages=24)
+            return {"x": point["x"], "y": max(distribution.values())}
+
+        result = SweepRunner().run(
+            experiment_id="demo",
+            title="demo",
+            headers=["x", "y"],
+            row_fn=solving_row,
+            points=[{"x": 1}],
+            presolve=[(config, 24)],
+        )
+        stats = result.metadata["cache_stats"]
+        # The capacity caches are registered by name; the presolve is
+        # the miss, the row's re-solve of the same config the hit.
+        distributions = stats["capacity-distribution"]
+        assert distributions["misses"] >= 1
+        assert distributions["hits"] >= 1
+        assert 0.0 <= distributions["hit_rate"] <= 1.0
+        assert set(distributions) == {
+            "hits", "misses", "evictions", "size", "maxsize", "hit_rate",
+        }
 
     def test_preassemble_shares_one_topology_across_rate_configs(self):
         """Configs differing only in rate parameters collapse onto one

@@ -1,6 +1,7 @@
 """Tests for repro.san.reachability (tangible state-space generation)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analytic.distributions import Deterministic
 from repro.errors import ModelError, StateSpaceExplosionError
@@ -58,6 +59,25 @@ class TestBasicGeneration:
         model = SANModel([Place("p", 0)], [grow])
         with pytest.raises(StateSpaceExplosionError):
             generate(model, max_states=50)
+
+    def test_explosion_error_reports_limit_marking_and_lumping_hint(self):
+        grow = TimedActivity.exponential(
+            "grow",
+            1.0,
+            input_gates=[InputGate("always", predicate=lambda m: True)],
+            cases=[Case(output_arcs={"p": 1})],
+        )
+        model = SANModel([Place("p", 0)], [grow])
+        with pytest.raises(StateSpaceExplosionError) as excinfo:
+            generate(model, max_states=50)
+        error = excinfo.value
+        assert error.limit == 50
+        assert error.marking == {"p": 50}
+        message = str(error)
+        assert "limit of 50 markings" in message
+        assert "{'p': 50}" in message
+        assert "exchangeable place groups" in message
+        assert "repro.san.lumping" in message
 
     def test_absorbing_marking_allowed(self):
         drain = TimedActivity.exponential("drain", 1.0, input_arcs={"p": 1})
@@ -168,3 +188,57 @@ class TestGeneralTransitions:
         space = generate(model)
         grouped = space.general_by_source()
         assert set(grouped) == {space.index[(2,)], space.index[(1,)]}
+
+
+def _exchangeable_plane(order):
+    """A symmetric failure/repair plane whose satellite places are
+    declared and wired in ``order`` -- any two orders are the same
+    model up to a renaming of exchangeable places."""
+    sats = [f"s{i}" for i in order]
+
+    def down(m):
+        return sum(1 - m[s] for s in sats)
+
+    def repair_case(s):
+        def probability(m):
+            d = down(m)
+            return (1 - m[s]) / d if d else 0.0
+
+        return Case(probability=probability, output_arcs={s: 1, "pool": 1})
+
+    activities = [
+        TimedActivity.exponential(f"fail_{s}", 0.01, input_arcs={s: 1})
+        for s in sats
+    ] + [
+        TimedActivity.exponential(
+            "repair",
+            0.5,
+            input_arcs={"pool": 1},
+            input_gates=[InputGate("down", predicate=lambda m: down(m) > 0)],
+            cases=[repair_case(s) for s in sats],
+        )
+    ]
+    return SANModel(
+        [Place(s, 1) for s in sats] + [Place("pool", 1)],
+        activities,
+        name="exchangeable-plane",
+        exchangeable_groups=[sats],
+    )
+
+
+class TestExchangeablePermutationIsomorphism:
+    """Permuting exchangeable satellite places must produce an
+    isomorphic reachability graph: the state space only relabels."""
+
+    @settings(max_examples=24, deadline=None)
+    @given(order=st.permutations(list(range(1, 5))))
+    def test_generate_is_isomorphic_under_permutation(self, order):
+        base = generate(_exchangeable_plane(list(range(1, 5))))
+        permuted = generate(_exchangeable_plane(list(order)))
+        assert len(permuted) == len(base)
+        assert len(permuted.markovian) == len(base.markovian)
+        base_rates = sorted(t.rate for t in base.markovian)
+        permuted_rates = sorted(t.rate for t in permuted.markovian)
+        # The symmetry permutes transitions but preserves each rate
+        # exactly (same float operations in a different order).
+        assert permuted_rates == base_rates
