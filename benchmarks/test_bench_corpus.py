@@ -1,0 +1,65 @@
+"""Benchmark ``corpus``: the scored scenario-corpus conformance run.
+
+Runs the full golden corpus (30 cells across all six scenario
+families) through the conformance harness and guards
+
+* correctness: every cell passes its declared checks with zero
+  unexplained solver fallbacks (the same bar the tier-1 smoke sets);
+* throughput: the harness must sustain at least
+  :data:`MIN_CELLS_PER_SEC` cells/sec -- the analytic solves are
+  memoized and the Monte-Carlo side is vectorised, so a large seeded
+  corpus (200+ cells, ``corpus generate --cells 210``) stays a
+  minutes-scale job rather than an hours-scale one.
+
+The per-run numbers (per-cell seconds, family breakdown, throughput,
+scorecard summary) are written to ``BENCH_corpus.json`` at the
+repository root so CI can archive them as an artifact.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import read_corpus, run_corpus, score_run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden" / "corpus"
+
+#: Throughput floor, cells/sec.  Local runs sustain ~2-3 cells/sec on
+#: the golden mix; the guard sits well below to absorb shared-runner
+#: noise while still catching an order-of-magnitude regression.
+MIN_CELLS_PER_SEC = 0.5
+
+
+@pytest.mark.corpus
+def test_bench_corpus_scored_run(run_once):
+    """Acceptance guard: golden corpus fully conformant at >=
+    MIN_CELLS_PER_SEC cells/sec, payload written to BENCH_corpus.json."""
+    metadata, cases = read_corpus(str(GOLDEN_DIR))
+
+    result = run_once(run_corpus, cases)
+    scorecard = score_run(result, metadata=metadata)
+    summary = scorecard["summary"]
+
+    payload = {
+        "benchmark": "corpus",
+        "cells": summary["cells"],
+        "seconds": result.seconds,
+        "cells_per_sec": result.cells_per_sec,
+        "min_cells_per_sec": MIN_CELLS_PER_SEC,
+        "summary": summary,
+        "per_cell_seconds": {
+            cell.case_id: cell.seconds for cell in result.cells
+        },
+    }
+    (REPO_ROOT / "BENCH_corpus.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert summary["all_passed"] is True
+    assert summary["unexplained_fallbacks"] == 0
+    assert result.cells_per_sec >= MIN_CELLS_PER_SEC, (
+        f"corpus throughput {result.cells_per_sec:.2f} cells/sec below "
+        f"the {MIN_CELLS_PER_SEC} cells/sec guard"
+    )

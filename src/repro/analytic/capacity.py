@@ -106,6 +106,7 @@ __all__ = [
     "capacity_distribution_simulated",
     "capacity_distribution_exponential",
     "capacity_transient",
+    "capacity_cross_check",
     "capacity_cache_stats",
     "capacity_cache_snapshot",
     "capacity_caches_disabled",
@@ -831,6 +832,43 @@ def expanded_capacity_summary(
         "quotient_states": entry.chain.num_states,
         "quotient_transitions": entry.chain.num_transitions,
     }
+
+
+def capacity_cross_check(
+    config: CapacityModelConfig,
+    *,
+    stages: int = 24,
+    include_unlumped: bool = False,
+) -> Dict[str, object]:
+    """Cross-solver agreement report for one capacity configuration.
+
+    Solves ``P(k)`` through the counted chain
+    (:func:`capacity_distribution`) and the symmetry-lumped expanded
+    chain (:func:`capacity_distribution_expanded`), optionally also the
+    *unlumped* expanded chain (exponential state space -- only feasible
+    for small ``full_capacity``), and reports the maximum pointwise
+    deltas.  The scenario-corpus conformance harness
+    (:mod:`repro.scenarios.runner`) scores these deltas per cell."""
+    counted = capacity_distribution(config, stages=stages)
+    lumped = capacity_distribution_expanded(config, stages=stages, lump=True)
+    ks = sorted(set(counted) | set(lumped))
+    report: Dict[str, object] = {
+        "counted": counted,
+        "lumped": lumped,
+        "lumped_vs_counted_delta": max(
+            abs(counted.get(k, 0.0) - lumped.get(k, 0.0)) for k in ks
+        ),
+    }
+    if include_unlumped:
+        unlumped = capacity_distribution_expanded(
+            config, stages=stages, lump=False
+        )
+        ks = sorted(set(lumped) | set(unlumped))
+        report["unlumped"] = unlumped
+        report["lumped_vs_unlumped_delta"] = max(
+            abs(lumped.get(k, 0.0) - unlumped.get(k, 0.0)) for k in ks
+        )
+    return report
 
 
 def capacity_distribution_exponential(

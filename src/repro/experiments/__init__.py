@@ -5,6 +5,11 @@ Run everything with ``python -m repro.experiments``; each module also
 has its own ``main()``.
 """
 
+# NOTE: corpus_exp and faults_exp are intentionally absent here --
+# they import repro.scenarios / repro.faults, which import back into
+# repro.experiments (scorer -> report, campaign -> engine), so pulling
+# them in at package-import time would be circular.  Import them
+# explicitly (``from repro.experiments import corpus_exp``).
 from repro.experiments import (
     aging_exp,
     calibration_exp,

@@ -7,6 +7,15 @@ Usage::
     python -m repro.experiments --plots    # + ASCII charts of the figures
     python -m repro.experiments --profile  # + profile_<id>.pstats per run
 
+    python -m repro.experiments corpus generate --cells 210 --out DIR
+    python -m repro.experiments corpus run --corpus DIR --scorecard F
+    python -m repro.experiments corpus score --scorecard F
+    python -m repro.experiments corpus diff --scorecard F [--golden G]
+
+The ``corpus`` subcommand drives the seeded scenario corpus and its
+scored conformance harness (see :mod:`repro.experiments.corpus_exp`
+and ``docs/SCENARIOS.md``).
+
 Profiles are standard :mod:`cProfile` dumps; inspect them with
 ``python -m pstats profile_fig7.pstats`` (then ``sort cumtime`` /
 ``stats 20``) or any pstats viewer such as snakeviz.
@@ -17,11 +26,13 @@ from __future__ import annotations
 import argparse
 import cProfile
 import os
-from typing import Callable, Optional
+import sys
+from typing import Callable, List, Optional, Sequence
 
 from repro.experiments import (
     aging_exp,
     calibration_exp,
+    corpus_exp,
     faults_exp,
     fig7,
     fig8,
@@ -40,6 +51,45 @@ from repro.experiments import (
     text_results,
 )
 from repro.experiments.report import ExperimentResult
+
+#: Experiments of the default (quick, analytic-only) set, in run order.
+QUICK_SECTIONS: List[Callable[[], ExperimentResult]] = [
+    table1.run,
+    geometry_exp.run,
+    text_results.run,
+    fig7.run,
+    fig8.run,
+    fig9.run,
+    sweeps.run_tau_sweep,
+    sweeps.run_mu_sweep,
+    robustness_exp.run,
+    aging_exp.run,
+    multiplane_exp.run,
+]
+
+#: Additional experiments run with ``--full`` (simulation-backed).
+FULL_SECTIONS: List[Callable[[], ExperimentResult]] = [
+    montecarlo_exp.run_conditional_validation,
+    montecarlo_exp.run_capacity_validation,
+    protocol_exp.run,
+    geolocation_exp.run,
+    orbits_exp.run_constants,
+    orbits_exp.run_latitude_profile,
+    san_ablation.run,
+    scaled_capacity_exp.run,
+    calibration_exp.run,
+    faults_exp.run,
+    corpus_exp.run,
+]
+
+#: x-axis header per figure experiment, for ``--plots``.
+FIGURE_X_HEADERS = {
+    "fig7": "lambda",
+    "fig8": "lambda",
+    "fig9": "lambda",
+    "tau-sweep": "tau",
+    "mu-sweep": "mean duration",
+}
 
 
 def _plot(result, x_header: str) -> str:
@@ -87,7 +137,12 @@ def run_experiment(
     return result
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Subcommand-style dispatch: `corpus ...` has its own CLI.
+    if argv and argv[0] == "corpus":
+        return corpus_exp.main(argv[1:])
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--full",
@@ -108,47 +163,22 @@ def main() -> None:
             "or snakeviz)"
         ),
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
-    figure_x_headers = {"fig7": "lambda", "fig8": "lambda", "fig9": "lambda",
-                        "tau-sweep": "tau", "mu-sweep": "mean duration"}
-    sections = [
-        table1.run,
-        geometry_exp.run,
-        text_results.run,
-        fig7.run,
-        fig8.run,
-        fig9.run,
-        sweeps.run_tau_sweep,
-        sweeps.run_mu_sweep,
-        robustness_exp.run,
-        aging_exp.run,
-        multiplane_exp.run,
-    ]
-    for run_fn in sections:
+    for run_fn in QUICK_SECTIONS:
         result = run_experiment(run_fn, profile=args.profile)
         print(result.render())
         print()
-        if args.plots and result.experiment_id in figure_x_headers:
-            print(_plot(result, figure_x_headers[result.experiment_id]))
+        if args.plots and result.experiment_id in FIGURE_X_HEADERS:
+            print(_plot(result, FIGURE_X_HEADERS[result.experiment_id]))
             print()
     if args.full:
-        for run_fn in (
-            montecarlo_exp.run_conditional_validation,
-            montecarlo_exp.run_capacity_validation,
-            protocol_exp.run,
-            geolocation_exp.run,
-            orbits_exp.run_constants,
-            orbits_exp.run_latitude_profile,
-            san_ablation.run,
-            scaled_capacity_exp.run,
-            calibration_exp.run,
-            faults_exp.run,
-        ):
+        for run_fn in FULL_SECTIONS:
             result = run_experiment(run_fn, profile=args.profile)
             print(result.render())
             print()
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

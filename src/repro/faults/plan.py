@@ -152,6 +152,60 @@ class FaultPlan:
             )
 
     # ------------------------------------------------------------------
+    # JSON-friendly serialization (used by the scenario corpus)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> "dict[str, object]":
+        """Pure-data dictionary representation, round-trippable through
+        :meth:`from_dict` (``FaultPlan.from_dict(plan.to_dict()) ==
+        plan``).  Tuples become lists so the result serialises as plain
+        JSON."""
+        return {
+            "name": self.name,
+            "fail_silent": [list(item) for item in self.fail_silent],
+            "fail_successors_at": self.fail_successors_at,
+            "fail_successor_count": self.fail_successor_count,
+            "crosslink_loss": self.crosslink_loss,
+            "link_loss": [list(item) for item in self.link_loss],
+            "downlink_blackouts": [list(item) for item in self.downlink_blackouts],
+            "membership_staleness": self.membership_staleness,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (validation runs
+        again, so a hand-edited dictionary is checked like any other
+        constructor call)."""
+        known = {
+            "name",
+            "fail_silent",
+            "fail_successors_at",
+            "fail_successor_count",
+            "crosslink_loss",
+            "link_loss",
+            "downlink_blackouts",
+            "membership_staleness",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault-plan fields: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        kwargs["fail_silent"] = [
+            (str(name), float(time))
+            for name, time in kwargs.get("fail_silent", ())
+        ]
+        kwargs["link_loss"] = [
+            (str(src), str(dst), float(p))
+            for src, dst, p in kwargs.get("link_loss", ())
+        ]
+        kwargs["downlink_blackouts"] = [
+            (float(start), float(end))
+            for start, end in kwargs.get("downlink_blackouts", ())
+        ]
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
     # Queries used by the injector
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,80 @@
+"""Seeded scenario corpus and cross-solver conformance harness.
+
+The package has four layers:
+
+* :mod:`repro.scenarios.schema` -- the :class:`ScenarioCase` record,
+  its canonical on-disk JSON form, and corpus-level metadata
+  (:class:`CorpusMetadata`, :func:`write_corpus` / :func:`read_corpus`);
+* :mod:`repro.scenarios.generator` -- deterministic, seed-keyed
+  sampling of diverse cases across declared scenario families
+  (:func:`generate_corpus`, :func:`generate_from_metadata`);
+* :mod:`repro.scenarios.runner` -- the conformance harness that runs
+  the analytic capacity/QoS pipeline and the batched Monte-Carlo
+  engine on each cell and evaluates its declared checks
+  (:func:`run_case`, :func:`run_corpus`);
+* :mod:`repro.scenarios.scorer` -- machine-readable scorecards and a
+  timing-insensitive behavioural diff (:func:`score_run`,
+  :func:`diff_scorecards`).
+"""
+
+from repro.scenarios.generator import (
+    FAMILIES,
+    generate_corpus,
+    generate_from_metadata,
+)
+from repro.scenarios.runner import (
+    CellResult,
+    CheckOutcome,
+    CorpusRunResult,
+    run_case,
+    run_corpus,
+)
+from repro.scenarios.schema import (
+    CHECKS,
+    DURATION_MODELS,
+    SCHEMA_VERSION,
+    CorpusMetadata,
+    ScenarioCase,
+    case_from_dict,
+    case_to_dict,
+    dump_case,
+    dumps_canonical,
+    load_case,
+    read_corpus,
+    write_corpus,
+)
+from repro.scenarios.scorer import (
+    SCORECARD_VERSION,
+    diff_scorecards,
+    load_scorecard,
+    score_run,
+    scorecard_to_json,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCORECARD_VERSION",
+    "CHECKS",
+    "DURATION_MODELS",
+    "FAMILIES",
+    "ScenarioCase",
+    "CorpusMetadata",
+    "CheckOutcome",
+    "CellResult",
+    "CorpusRunResult",
+    "case_to_dict",
+    "case_from_dict",
+    "dump_case",
+    "load_case",
+    "dumps_canonical",
+    "write_corpus",
+    "read_corpus",
+    "generate_corpus",
+    "generate_from_metadata",
+    "run_case",
+    "run_corpus",
+    "score_run",
+    "scorecard_to_json",
+    "load_scorecard",
+    "diff_scorecards",
+]

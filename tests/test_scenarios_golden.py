@@ -1,0 +1,73 @@
+"""Golden-corpus smoke: the checked-in corpus regenerates
+byte-identically from its recorded metadata, every cell passes its
+declared checks, and the scored run matches the checked-in scorecard
+behaviourally (timings excluded)."""
+
+import os
+
+import pytest
+
+from repro.experiments.corpus_exp import GOLDEN_CELLS, GOLDEN_DIR, GOLDEN_SEED
+from repro.scenarios import (
+    diff_scorecards,
+    dump_case,
+    generate_from_metadata,
+    load_scorecard,
+    read_corpus,
+    run_corpus,
+    score_run,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "corpus")
+
+
+@pytest.fixture(scope="module")
+def golden_corpus():
+    return read_corpus(GOLDEN)
+
+
+class TestGoldenCorpusPin:
+    def test_location_matches_cli_default(self):
+        assert os.path.abspath(GOLDEN) == os.path.abspath(
+            os.path.join(os.path.dirname(__file__), os.pardir, GOLDEN_DIR)
+        )
+
+    def test_recorded_provenance(self, golden_corpus):
+        metadata, cases = golden_corpus
+        assert metadata.seed == GOLDEN_SEED
+        assert metadata.n_cells == GOLDEN_CELLS == len(cases)
+        assert metadata.git_describe is None
+
+    def test_regeneration_is_byte_identical(self, golden_corpus):
+        metadata, cases = golden_corpus
+        _, regenerated = generate_from_metadata(metadata)
+        regenerated = sorted(regenerated, key=lambda case: case.case_id)
+        assert [dump_case(c) for c in regenerated] == [
+            dump_case(c) for c in cases
+        ]
+
+
+@pytest.mark.corpus
+class TestGoldenCorpusConformance:
+    @pytest.fixture(scope="class")
+    def scored(self, golden_corpus):
+        metadata, cases = golden_corpus
+        result = run_corpus(cases)
+        return result, score_run(result, metadata=metadata)
+
+    def test_every_cell_passes(self, scored):
+        result, scorecard = scored
+        failing = [
+            cell.case_id for cell in result.cells if cell.status != "pass"
+        ]
+        assert failing == []
+        assert scorecard["summary"]["all_passed"] is True
+
+    def test_zero_unexplained_fallbacks(self, scored):
+        _, scorecard = scored
+        assert scorecard["summary"]["unexplained_fallbacks"] == 0
+
+    def test_matches_checked_in_scorecard(self, scored):
+        _, scorecard = scored
+        golden = load_scorecard(os.path.join(GOLDEN, "scorecard.json"))
+        assert diff_scorecards(golden, scorecard) == []
