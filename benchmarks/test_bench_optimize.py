@@ -1,0 +1,160 @@
+"""Benchmark ``optimize``: quotient-vs-unlumped throughput guard.
+
+Evaluates a small design subgrid twice through
+:func:`~repro.analytic.capacity.capacity_distribution_expanded` -- once
+on the symmetry-lumped quotient chain (the optimizer's production
+path), once with ``lump=False`` on the raw per-satellite chain -- and
+guards
+
+* correctness: both paths agree on every capacity distribution to
+  1e-9, and the lumped pass reports zero unexplained (structure)
+  fallbacks via the optimizer's per-cell counters;
+* throughput: the quotient path must sustain at least
+  :data:`MIN_SPEEDUP` times the unlumped cells/sec on the same grid.
+  The quotient collapses the per-satellite product space to capacity
+  counts, so the margin is typically two orders of magnitude, not a
+  rounding error.
+
+The per-run numbers (per-cell seconds on both paths, aggregate
+speedup, fallback scorecard) are written to ``BENCH_optimize.json`` at
+the repository root so CI can archive them as an artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analytic.capacity import (
+    capacity_distribution_expanded,
+    clear_capacity_caches,
+)
+from repro.optimize import (
+    DesignPoint,
+    GroundSparePolicy,
+    classify_fallbacks,
+    evaluate_cell,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Quotient-vs-unlumped cells/sec floor.  Local runs show ~100-500x on
+#: this grid; 10x is the acceptance bar and catches a lumping path that
+#: silently degrades to the full chain.
+MIN_SPEEDUP = 10.0
+
+#: Benchmark stage depth: Erlang stage unfolding multiplies the
+#: unlumped state space, so the bench pins stages=1 to keep the raw
+#: chain solvable in seconds while preserving the state-space ratio
+#: the speedup measures.
+STAGES = 1
+
+
+def bench_grid():
+    """Six cells at full_capacity=10 crossing every policy kind and the
+    repair-present/absent axis -- big enough that the unlumped chain
+    hurts, small enough that it finishes."""
+    variants = [
+        ("combined", 2, None),
+        ("combined", 1, 5e-4),
+        ("threshold", 1, None),
+        ("threshold", 1, 5e-4),
+        ("scheduled", 2, None),
+        ("scheduled", 1, 5e-4),
+    ]
+    return [
+        DesignPoint(
+            plane_scale=1,
+            full_capacity=10,
+            failure_rate_per_hour=1e-4,
+            policy=GroundSparePolicy(
+                kind=kind,
+                in_orbit_spares=spares,
+                threshold=8,
+                repair_rate_per_hour=rho,
+            ),
+        )
+        for kind, spares, rho in variants
+    ]
+
+
+def _lumped_pass(cells):
+    clear_capacity_caches(reset_stats=True)
+    rows = []
+    distributions = []
+    per_cell = []
+    for cell in cells:
+        start = time.perf_counter()
+        rows.append(evaluate_cell(cell, stages=STAGES))
+        per_cell.append(time.perf_counter() - start)
+        # Cache hit: re-reads the distribution just solved above.
+        distributions.append(
+            capacity_distribution_expanded(
+                cell.config(), stages=STAGES, lump=True
+            )
+        )
+    return rows, distributions, per_cell
+
+
+def _unlumped_pass(cells):
+    clear_capacity_caches(reset_stats=True)
+    distributions = []
+    per_cell = []
+    for cell in cells:
+        start = time.perf_counter()
+        distributions.append(
+            capacity_distribution_expanded(
+                cell.config(), stages=STAGES, lump=False
+            )
+        )
+        per_cell.append(time.perf_counter() - start)
+    return distributions, per_cell
+
+
+def test_bench_optimize_quotient_speedup(run_once):
+    """Acceptance guard: >= MIN_SPEEDUP cells/sec on the quotient vs
+    the unlumped chain, zero unexplained fallbacks, payload written to
+    BENCH_optimize.json."""
+    cells = bench_grid()
+
+    rows, lumped, lumped_seconds = run_once(_lumped_pass, cells)
+    raw, unlumped_seconds = _unlumped_pass(cells)
+
+    lumped_total = sum(lumped_seconds)
+    unlumped_total = sum(unlumped_seconds)
+    speedup = unlumped_total / lumped_total
+    scorecard = classify_fallbacks(rows)
+
+    # Both paths solve the same chain: distributions must agree.
+    for pk_lumped, pk_raw in zip(lumped, raw):
+        for k in set(pk_lumped) | set(pk_raw):
+            assert abs(
+                pk_lumped.get(k, 0.0) - pk_raw.get(k, 0.0)
+            ) <= 1e-9
+
+    payload = {
+        "benchmark": "optimize",
+        "cells": len(cells),
+        "stages": STAGES,
+        "lumped_seconds": lumped_total,
+        "unlumped_seconds": unlumped_total,
+        "lumped_cells_per_sec": len(cells) / lumped_total,
+        "unlumped_cells_per_sec": len(cells) / unlumped_total,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "per_cell_lumped_seconds": lumped_seconds,
+        "per_cell_unlumped_seconds": unlumped_seconds,
+        "fallbacks": {
+            "clean": scorecard["clean"],
+            "explained": len(scorecard["explained"]),
+            "unexplained": len(scorecard["unexplained"]),
+        },
+    }
+    (REPO_ROOT / "BENCH_optimize.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert scorecard["unexplained"] == []
+    assert speedup >= MIN_SPEEDUP, (
+        f"quotient speedup {speedup:.1f}x below the {MIN_SPEEDUP}x guard "
+        f"(lumped {lumped_total:.2f}s vs unlumped {unlumped_total:.2f}s)"
+    )

@@ -119,6 +119,12 @@ __all__ = [
 ]
 
 
+#: Valid ``deployment_policy`` values: which ground-spare deployment
+#: machinery the SAN contains (a structural choice, see the topology
+#: key).
+_DEPLOYMENT_POLICIES = frozenset({"combined", "threshold", "scheduled"})
+
+
 @dataclass(frozen=True)
 class CapacityModelConfig:
     """Parameters of the orbital-plane capacity model.
@@ -140,6 +146,22 @@ class CapacityModelConfig:
     replacement_latency_hours:
         Launch-to-arrival latency of a threshold-triggered replacement
         ground spare (not published in the paper; calibrated).
+    deployment_policy:
+        Which ground-spare deployment machinery the plane runs --
+        ``"combined"`` (the paper's model: both policies active, the
+        default), ``"threshold"`` (no scheduled restore clock) or
+        ``"scheduled"`` (no threshold trigger).  This is a *structural*
+        choice: it adds or removes activities, so it is part of the
+        topology key and two policies never share an assembled chain.
+    repair_rate_per_hour:
+        Optional on-orbit repair/servicing: each failed satellite is
+        independently restored to service at this exponential rate.
+        ``None`` (the default) omits the repair activity entirely
+        (structural absence); a float -- **including exactly 0.0** --
+        keeps the activity in the topology at that rate, so a design
+        sweep crossing zero stays on one assembled structure and
+        re-rates in place (zero-rate transitions are dropped by the
+        CTMC, never by the topology).
     """
 
     full_capacity: int = 14
@@ -148,6 +170,8 @@ class CapacityModelConfig:
     threshold: int = 10
     scheduled_period_hours: float = 30000.0
     replacement_latency_hours: float = 168.0
+    deployment_policy: str = "combined"
+    repair_rate_per_hour: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.full_capacity < 1:
@@ -178,6 +202,19 @@ class CapacityModelConfig:
                 f"replacement_latency_hours must be positive, got "
                 f"{self.replacement_latency_hours}"
             )
+        if self.deployment_policy not in _DEPLOYMENT_POLICIES:
+            raise ConfigurationError(
+                f"deployment_policy must be one of "
+                f"{sorted(_DEPLOYMENT_POLICIES)}, got "
+                f"{self.deployment_policy!r}"
+            )
+        if self.repair_rate_per_hour is not None and (
+            self.repair_rate_per_hour < 0
+        ):
+            raise ConfigurationError(
+                f"repair_rate_per_hour must be >= 0 (or None to omit "
+                f"repair), got {self.repair_rate_per_hour}"
+            )
 
     @classmethod
     def from_params(cls, params: EvaluationParams) -> "CapacityModelConfig":
@@ -204,9 +241,17 @@ def build_capacity_san(
     Setting ``exponential_timers`` replaces the deterministic scheduled
     clock and replacement latency with exponentials of the same mean
     (used by the ablation study).
+
+    ``config.deployment_policy`` selects the ground-spare machinery:
+    ``"threshold"`` drops the scheduled clock, ``"scheduled"`` drops
+    the threshold trigger, ``"combined"`` (default) keeps both.  A
+    non-``None`` ``config.repair_rate_per_hour`` adds an on-orbit
+    ``repair`` activity restoring failed satellites to service at
+    ``rho * (full - active)``.
     """
     full = config.full_capacity
     eta = config.threshold
+    policy = config.deployment_policy
 
     places = [
         Place("active", full),
@@ -248,15 +293,27 @@ def build_capacity_san(
         ],
     )
 
+    if config.repair_rate_per_hour is None:
+        arrival_cases = [Case(output_arcs={"active": 1})]
+    else:
+        # With on-orbit repair the failed satellite may already be back
+        # in service when the replacement arrives; the late spare is
+        # then discarded (the launch was wasted).  Unreachable without
+        # repair, so the plain-arc case above keeps the no-repair
+        # topology identical to the paper's model.
+        def arrive_or_discard(m) -> None:
+            if m["active"] < full:
+                m["active"] += 1
+
+        arrival_cases = [
+            Case(output_gates=[OutputGate("arrive_or_discard", arrive_or_discard)])
+        ]
+
     replacement_arrival = TimedActivity(
         "replacement_arrival",
         replacement_dist,
         input_arcs={"pending": 1},
-        cases=[
-            Case(
-                output_arcs={"active": 1}
-            )
-        ],
+        cases=arrival_cases,
     )
 
     deploy_spare = InstantaneousActivity(
@@ -291,10 +348,30 @@ def build_capacity_san(
         ],
     )
 
+    timed = [failure]
+    if policy in ("combined", "scheduled"):
+        timed.append(scheduled)
+    timed.append(replacement_arrival)
+    if config.repair_rate_per_hour is not None:
+        timed.append(
+            TimedActivity.exponential(
+                "repair",
+                lambda m: config.repair_rate_per_hour * (full - m["active"]),
+                input_gates=[
+                    InputGate(
+                        "repairable", predicate=lambda m: m["active"] < full
+                    )
+                ],
+                cases=[Case(output_arcs={"active": 1})],
+            )
+        )
+    instantaneous = [deploy_spare]
+    if policy in ("combined", "threshold"):
+        instantaneous.append(threshold_trigger)
     return SANModel(
         places,
-        timed_activities=[failure, scheduled, replacement_arrival],
-        instantaneous_activities=[deploy_spare, threshold_trigger],
+        timed_activities=timed,
+        instantaneous_activities=instantaneous,
         name="orbital-plane-capacity",
     )
 
@@ -324,9 +401,17 @@ def build_capacity_san_expanded(config: CapacityModelConfig) -> SANModel:
     uniform tie-break is what keeps the model exactly symmetric (a
     deterministic "lowest index first" rule would break exact
     lumpability: low-index satellites would accumulate more uptime).
+
+    Honours ``config.deployment_policy`` and
+    ``config.repair_rate_per_hour`` exactly like
+    :func:`build_capacity_san`; the per-satellite ``repair`` activity
+    fires at ``rho * down_count`` and picks the restored satellite
+    uniformly among the failed ones (same symmetry argument as the
+    other repairs), so the quotient stays the counted model's chain.
     """
     full = config.full_capacity
     eta = config.threshold
+    policy = config.deployment_policy
     sats = _satellite_names(full)
 
     places = [Place(s, 1) for s in sats] + [
@@ -366,11 +451,25 @@ def build_capacity_san_expanded(config: CapacityModelConfig) -> SANModel:
         cases=[Case(output_gates=[OutputGate("restore_full", restore_full)])],
     )
 
+    if config.repair_rate_per_hour is None:
+        arrival_cases = [repair_case(s) for s in sats]
+    else:
+        # Mirror of the counted model's arrive-or-discard: with repair,
+        # a replacement can arrive at a fully-healthy plane (down == 0)
+        # and is discarded.  The discard probability is symmetric under
+        # satellite permutation, so the exact lumpability is preserved.
+        def discard_probability(m) -> float:
+            return 1.0 if down_count(m) == 0 else 0.0
+
+        arrival_cases = [repair_case(s) for s in sats] + [
+            Case(probability=discard_probability)
+        ]
+
     replacement_arrival = TimedActivity(
         "replacement_arrival",
         Deterministic(config.replacement_latency_hours),
         input_arcs={"pending": 1},
-        cases=[repair_case(s) for s in sats],
+        cases=arrival_cases,
     )
 
     deploy_spare = InstantaneousActivity(
@@ -398,10 +497,30 @@ def build_capacity_san_expanded(config: CapacityModelConfig) -> SANModel:
         cases=[Case(output_arcs={"pending": 1})],
     )
 
+    timed = [*failures]
+    if policy in ("combined", "scheduled"):
+        timed.append(scheduled)
+    timed.append(replacement_arrival)
+    if config.repair_rate_per_hour is not None:
+        timed.append(
+            TimedActivity.exponential(
+                "repair",
+                lambda m: config.repair_rate_per_hour * down_count(m),
+                input_gates=[
+                    InputGate(
+                        "repairable", predicate=lambda m: down_count(m) > 0
+                    )
+                ],
+                cases=[repair_case(s) for s in sats],
+            )
+        )
+    instantaneous = [deploy_spare]
+    if policy in ("combined", "threshold"):
+        instantaneous.append(threshold_trigger)
     return SANModel(
         places,
-        timed_activities=[*failures, scheduled, replacement_arrival],
-        instantaneous_activities=[deploy_spare, threshold_trigger],
+        timed_activities=timed,
+        instantaneous_activities=instantaneous,
         name="orbital-plane-capacity-expanded",
         exchangeable_groups=[sats],
     )
@@ -585,14 +704,22 @@ def _unfolded_chain(config: CapacityModelConfig, stages: int):
 # Topology/rate split
 # ----------------------------------------------------------------------
 def _topology_key(config: CapacityModelConfig, stages: int) -> Tuple:
-    """The fields that determine the SAN's *structure*.  The three rate
-    parameters (failure rate, scheduled period, replacement latency)
-    only scale transitions, so every point of a rate sweep maps to the
-    same key and shares one assembled chain."""
+    """The fields that determine the SAN's *structure*.  The rate
+    parameters (failure rate, scheduled period, replacement latency,
+    repair rate) only scale transitions, so every point of a rate sweep
+    maps to the same key and shares one assembled chain.  Everything
+    structural must appear here: the spare count and threshold change
+    the reachable markings, the deployment policy and the *presence* of
+    a repair activity (``repair_rate_per_hour is not None`` -- the rate
+    value itself, including 0.0, is a rate) add or remove activities.
+    Two design-grid cells that differ in any of these must never alias
+    onto one cached structure."""
     return (
         config.full_capacity,
         config.in_orbit_spares,
         config.threshold,
+        config.deployment_policy,
+        config.repair_rate_per_hour is not None,
         stages,
     )
 

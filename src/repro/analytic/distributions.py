@@ -65,11 +65,20 @@ class Distribution(ABC):
 
 
 class Exponential(Distribution):
-    """Exponential distribution with rate ``rate`` (mean ``1/rate``)."""
+    """Exponential distribution with rate ``rate`` (mean ``1/rate``).
+
+    ``rate == 0`` is the degenerate "never fires" limit: the event has
+    probability zero of ever completing (``cdf == 0`` everywhere,
+    samples are ``inf``).  Marking-dependent SAN rates hit exactly zero
+    on design-sweep boundaries (e.g. a repair rate swept down to 0.0),
+    and the zero-rate activity must stay a *rate* value -- not a
+    structural change -- so assembled topologies re-rate in place.
+    Negative rates are still rejected.
+    """
 
     def __init__(self, rate: float):
-        if rate <= 0:
-            raise ConfigurationError(f"rate must be positive, got {rate}")
+        if rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {rate}")
         self.rate = float(rate)
 
     def pdf(self, x: float) -> float:
@@ -88,15 +97,23 @@ class Exponential(Distribution):
         return math.exp(-self.rate * x)
 
     def mean(self) -> float:
+        if self.rate == 0.0:
+            return math.inf
         return 1.0 / self.rate
 
     def variance(self) -> float:
+        if self.rate == 0.0:
+            return math.inf
         return 1.0 / (self.rate * self.rate)
 
     def sample(self, rng: np.random.Generator) -> float:
+        if self.rate == 0.0:
+            return math.inf
         return float(rng.exponential(1.0 / self.rate))
 
     def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.rate == 0.0:
+            return np.full(n, math.inf)
         return rng.exponential(1.0 / self.rate, size=n)
 
     def __repr__(self) -> str:

@@ -136,6 +136,15 @@ class LRUSolveCache:
                 return True, self._store[key]
             return False, None
 
+    def keys(self) -> List[Hashable]:
+        """The resident keys, LRU-first, without touching counters.
+
+        Diagnostic hook for key-completeness checks: two configurations
+        that must not alias can assert they occupy *distinct* entries
+        (see the capacity topology-key regression tests)."""
+        with self._lock:
+            return list(self._store.keys())
+
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
             return key in self._store

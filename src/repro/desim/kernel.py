@@ -150,7 +150,13 @@ class Simulator:
             )
         heap = self._heap
         while heap:
-            if heap[0][0] > time:
+            # Discard cancelled events lazily before consulting the head
+            # timestamp: a cancelled event with an early time must not
+            # admit a step() that would execute the next *live* event
+            # beyond the horizon.
+            while heap and heap[0][3].cancelled:
+                heapq.heappop(heap)
+            if not heap or heap[0][0] > time:
                 break
             self.step()
             if stop is not None and stop():

@@ -12,9 +12,13 @@ Usage::
     python -m repro.experiments corpus score --scorecard F
     python -m repro.experiments corpus diff --scorecard F [--golden G]
 
+    python -m repro.experiments optimize [--smoke] [--jobs N] [--out F]
+
 The ``corpus`` subcommand drives the seeded scenario corpus and its
 scored conformance harness (see :mod:`repro.experiments.corpus_exp`
-and ``docs/SCENARIOS.md``).
+and ``docs/SCENARIOS.md``); ``optimize`` sweeps the spare-policy design
+space on the lumped quotient solver and reports the Pareto frontier
+(see :mod:`repro.experiments.optimize_exp` and ``docs/OPTIMIZE.md``).
 
 Profiles are standard :mod:`cProfile` dumps; inspect them with
 ``python -m pstats profile_fig7.pstats`` (then ``sort cumtime`` /
@@ -41,6 +45,7 @@ from repro.experiments import (
     geometry_exp,
     montecarlo_exp,
     multiplane_exp,
+    optimize_exp,
     orbits_exp,
     protocol_exp,
     robustness_exp,
@@ -80,6 +85,7 @@ FULL_SECTIONS: List[Callable[[], ExperimentResult]] = [
     calibration_exp.run,
     faults_exp.run,
     corpus_exp.run,
+    optimize_exp.run,
 ]
 
 #: x-axis header per figure experiment, for ``--plots``.
@@ -142,6 +148,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Subcommand-style dispatch: `corpus ...` has its own CLI.
     if argv and argv[0] == "corpus":
         return corpus_exp.main(argv[1:])
+    if argv and argv[0] == "optimize":
+        return optimize_exp.main(argv[1:])
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(

@@ -33,8 +33,11 @@ Per-stage wall-clock timings (``capacity_presolve``, ``rows``,
 ``total``, plus the capacity pipeline's ``assemble``/``refine``/
 ``quotient``/``rerate``/``solve`` deltas) are recorded into
 ``ExperimentResult.timings`` so the benchmarks can attribute speedups,
-and a solve-cache statistics snapshot lands in
-``ExperimentResult.metadata["cache_stats"]``.  See
+a solve-cache statistics snapshot lands in
+``ExperimentResult.metadata["cache_stats"]``, and the run-level deltas
+of the capacity solver counters (``structure_fallbacks``,
+``solver_fallbacks``, solve-method counts) land in
+``ExperimentResult.metadata["solver_stats"]``.  See
 ``docs/SAN_ENGINE.md`` for the user guide.
 """
 
@@ -60,6 +63,7 @@ from repro.analytic.capacity import (
     assemble_capacity_topology,
     capacity_cache_snapshot,
     capacity_distribution,
+    capacity_solver_stats,
     capacity_stage_timings,
     seed_capacity_cache,
 )
@@ -220,6 +224,7 @@ class SweepRunner:
         timings: Dict[str, float] = {}
         before = capacity_stage_timings()
         batch_before = batch_stage_timings()
+        solver_before = capacity_solver_stats()
         with _stage(timings, "total"):
             with _stage(timings, "capacity_presolve"):
                 self.preassemble_capacity(preassemble)
@@ -234,7 +239,18 @@ class SweepRunner:
             timings[f"batch_{stage}"] = batch_after.get(
                 stage, 0.0
             ) - batch_before.get(stage, 0.0)
+        solver_after = capacity_solver_stats()
         metadata: Dict[str, object] = {
+            # Run-level deltas of the capacity solver counters --
+            # notably ``structure_fallbacks`` / ``solver_fallbacks``,
+            # which the optimize experiment additionally records
+            # per-cell.  With ``n_jobs > 1`` per-point work happens in
+            # workers and the parent-side delta undercounts (row
+            # functions that care capture their own deltas in-worker).
+            "solver_stats": {
+                key: solver_after.get(key, 0) - solver_before.get(key, 0)
+                for key in solver_after
+            },
             "cache_stats": {
                 name: {
                     "hits": stats.hits,

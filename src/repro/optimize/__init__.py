@@ -1,0 +1,47 @@
+"""Spare-policy design-space optimization on the quotient solver.
+
+The paper evaluates its two ground-spare deployment policies at one
+hand-picked design point; the symmetry-lumped quotient chain
+(:func:`repro.analytic.capacity.capacity_distribution_expanded`) makes
+each point cheap enough to brute-force the whole design space instead
+-- spare counts, threshold ``eta`` versus scheduled period ``phi``,
+launch latencies, repair and failure rates, plane scale -- and trade
+spare cost against availability ``P(K >= k_min)`` and composed alert
+QoS (paper Eq. 3).  See ``docs/OPTIMIZE.md`` for the design space, the
+cost model, the Pareto output format and the fallback-classification
+contract.
+"""
+
+from repro.optimize.design import (
+    DesignPoint,
+    GroundSparePolicy,
+    design_grid,
+    grid_topology_count,
+    smoke_grid,
+)
+from repro.optimize.evaluate import (
+    composed_alert_qos,
+    evaluate_cell,
+    minimum_capacity,
+    spare_cost,
+)
+from repro.optimize.pareto import (
+    classify_fallbacks,
+    pareto_frontier,
+    recommend_policy,
+)
+
+__all__ = [
+    "DesignPoint",
+    "GroundSparePolicy",
+    "classify_fallbacks",
+    "composed_alert_qos",
+    "design_grid",
+    "evaluate_cell",
+    "grid_topology_count",
+    "minimum_capacity",
+    "pareto_frontier",
+    "recommend_policy",
+    "smoke_grid",
+    "spare_cost",
+]

@@ -572,14 +572,36 @@ class LumpedChain:
 
 def _slot_classes(chain, rate_vector: np.ndarray):
     """Group rate slots into classes that are interchangeable for the
-    refinement: same kind, same stage count, same rate under the
-    assembled model.  Re-rating later re-checks that each class is
-    still rate-constant (see :meth:`LumpedChain.class_rates`)."""
+    refinement: same kind, same stage count, same case-probability
+    multiset, same rate under the assembled model.  Re-rating later
+    re-checks that each class is still rate-constant (see
+    :meth:`LumpedChain.class_rates`).
+
+    The case-probability multiset matters because a class is a *rate
+    sharing* commitment across re-rates: keying on the rate value alone
+    merges slots of unrelated activity families whose rates merely
+    coincide at refinement time (a repair rate swept through the
+    failure rate, two phase timers with equal means).  Such coincident
+    classes are numerically sound at the refinement point but break --
+    spuriously, the quotient itself is still exact -- as soon as a
+    sweep moves one family's rate and not the other's, forcing a
+    fallback to the unlumped chain.  Symmetric slots of one activity
+    family have permuted (hence sorted-equal) case tuples, so keying on
+    the sorted multiset keeps every genuinely interchangeable slot
+    together while splitting coincidental rate collisions.  Splitting
+    only refines the initial partition, so no previously-valid lumping
+    is lost.
+    """
     class_ids: Dict[Tuple, int] = {}
     slot_class = np.empty(chain.num_slots, dtype=np.int64)
     representatives: List[int] = []
     for position, slot in enumerate(chain.slots):
-        key = (slot.kind, slot.stages, float(rate_vector[position]))
+        key = (
+            slot.kind,
+            slot.stages,
+            tuple(sorted(slot.case_probabilities)),
+            float(rate_vector[position]),
+        )
         identifier = class_ids.get(key)
         if identifier is None:
             identifier = len(class_ids)

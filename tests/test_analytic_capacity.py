@@ -236,3 +236,109 @@ class TestDistributionShape:
             for k in set(deterministic) | set(exponential)
         )
         assert tv > 0.02
+
+
+class TestDeploymentPolicyVariants:
+    """The ``deployment_policy`` / ``repair_rate_per_hour`` structural
+    axes: counted-vs-expanded agreement, zero-rate re-rates in place,
+    and cache-key completeness (no aliasing across policies)."""
+
+    def setup_method(self):
+        clear_capacity_caches(reset_stats=True)
+
+    SMALL = dict(full_capacity=5, in_orbit_spares=1, threshold=4)
+
+    @pytest.mark.parametrize("policy", ["combined", "threshold", "scheduled"])
+    @pytest.mark.parametrize("repair", [None, 0.0, 5e-4])
+    def test_counted_matches_lumped_expanded(self, policy, repair):
+        from repro.analytic.capacity import capacity_distribution_expanded
+
+        config = CapacityModelConfig(
+            failure_rate_per_hour=5e-5,
+            deployment_policy=policy,
+            repair_rate_per_hour=repair,
+            **self.SMALL,
+        )
+        counted = capacity_distribution(config, stages=4)
+        expanded = capacity_distribution_expanded(config, stages=4, lump=True)
+        for k in set(counted) | set(expanded):
+            assert expanded.get(k, 0.0) == pytest.approx(
+                counted.get(k, 0.0), abs=1e-12
+            ), f"policy={policy} repair={repair} k={k}"
+        assert capacity_solver_stats()["structure_fallbacks"] == 0
+
+    def test_zero_repair_rate_rerates_in_place(self):
+        """Regression: repair *presence* is structural, its value is a
+        rate -- a topology assembled at rate exactly 0.0 must re-rate to
+        a positive rate (and back) without a structure fallback."""
+        def config(rho):
+            return CapacityModelConfig(
+                failure_rate_per_hour=5e-5,
+                repair_rate_per_hour=rho,
+                **self.SMALL,
+            )
+
+        at_zero = capacity_distribution(config(0.0), stages=4)
+        assert capacity_cache_stats()["assemble"].misses == 1
+        positive = capacity_distribution(config(5e-4), stages=4)
+        back = capacity_distribution(config(0.0), stages=4)
+        # One topology served all three points; no rejection fallbacks.
+        assert capacity_cache_stats()["assemble"].misses == 1
+        assert capacity_solver_stats()["structure_fallbacks"] == 0
+        assert positive != at_zero  # repair actually changes P(k)
+        assert back == at_zero
+        # And rate 0.0 behaves exactly like structurally-absent repair.
+        absent = capacity_distribution(config(None), stages=4)
+        for k in set(absent) | set(at_zero):
+            assert at_zero.get(k, 0.0) == pytest.approx(
+                absent.get(k, 0.0), abs=1e-12
+            )
+
+    def test_topology_key_separates_structural_axes(self):
+        """Regression: policy kind and repair presence are part of the
+        assemble-cache key -- configs differing only in those axes must
+        occupy distinct entries (the old key aliased them onto one
+        topology, poisoning every later re-rate)."""
+        from repro.analytic.capacity import _ASSEMBLE_CACHE
+
+        variants = [
+            CapacityModelConfig(**self.SMALL),
+            CapacityModelConfig(deployment_policy="threshold", **self.SMALL),
+            CapacityModelConfig(deployment_policy="scheduled", **self.SMALL),
+            CapacityModelConfig(repair_rate_per_hour=0.0, **self.SMALL),
+        ]
+        for config in variants:
+            assemble_capacity_topology(config, stages=2)
+        assert len(_ASSEMBLE_CACHE.keys()) == len(variants)
+        # The policies genuinely differ in steady state (threshold-only
+        # planes cannot restock spares; scheduled-only planes lack the
+        # sustain trigger) -- aliasing would have hidden that.
+        distributions = [
+            tuple(
+                sorted(capacity_distribution(config, stages=4).items())
+            )
+            for config in variants
+        ]
+        assert len(set(distributions)) == len(variants)
+
+    def test_distribution_cache_key_includes_policy_fields(self):
+        """Solve-cache completeness: spare count, deployment policy and
+        eta each produce distinct distribution-cache entries."""
+        from repro.analytic.capacity import _DISTRIBUTION_CACHE
+
+        base = dict(failure_rate_per_hour=5e-5)
+        configs = [
+            CapacityModelConfig(**self.SMALL, **base),
+            CapacityModelConfig(
+                full_capacity=5, in_orbit_spares=2, threshold=4, **base
+            ),
+            CapacityModelConfig(
+                full_capacity=5, in_orbit_spares=1, threshold=3, **base
+            ),
+            CapacityModelConfig(
+                deployment_policy="threshold", **self.SMALL, **base
+            ),
+        ]
+        for config in configs:
+            capacity_distribution(config, stages=2)
+        assert len(_DISTRIBUTION_CACHE.keys()) == len(configs)

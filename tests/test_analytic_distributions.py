@@ -69,9 +69,23 @@ class TestExponential:
         dist = Exponential(0.7)
         assert dist.survival(3.0) == pytest.approx(math.exp(-2.1))
 
-    def test_rejects_nonpositive_rate(self):
+    def test_rejects_negative_rate(self):
         with pytest.raises(ConfigurationError):
-            Exponential(0.0)
+            Exponential(-1e-9)
+
+    def test_zero_rate_never_fires(self):
+        # The degenerate limit that design sweeps hit (a rate swept to
+        # exactly 0.0): the event never happens, but the distribution is
+        # still a valid *rate* value so assembled SANs re-rate in place.
+        dist = Exponential(0.0)
+        rng = np.random.default_rng(3)
+        assert dist.cdf(1e12) == 0.0
+        assert dist.survival(1e12) == 1.0
+        assert dist.pdf(5.0) == 0.0
+        assert dist.mean() == math.inf
+        assert dist.variance() == math.inf
+        assert dist.sample(rng) == math.inf
+        assert np.all(np.isinf(dist.sample_many(rng, 4)))
 
     def test_vectorised_sampling(self):
         rng = np.random.default_rng(1)

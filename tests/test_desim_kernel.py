@@ -125,6 +125,25 @@ class TestRunUntil:
         assert fired == ["a", "b", "c"]
         assert simulator.now == 10.0
 
+    def test_cancelled_head_does_not_admit_overshoot(self):
+        """Regression: a cancelled event with time <= horizon at the top
+        of the heap must not let run_until execute the next *live* event
+        beyond the horizon.  Processes that cancel-and-resample clocks at
+        every state change (the plane-degradation DES) keep the heap full
+        of early cancelled entries, so the old head-time check routinely
+        executed one post-horizon event -- biasing every point
+        observation (``capacity_at``) toward post-event states."""
+        simulator = Simulator()
+        fired = []
+        stale = simulator.schedule(1.0, fired.append, "stale")
+        stale.cancel()
+        simulator.schedule(10.0, fired.append, "late")
+        simulator.run_until(5.0)
+        assert fired == []
+        assert simulator.now == 5.0
+        simulator.run_until(20.0)
+        assert fired == ["late"]
+
     def test_stop_predicate_false_runs_to_horizon(self):
         simulator = Simulator()
         fired = []

@@ -102,6 +102,69 @@ class TestRerate:
             rebuilt_marginals = assembled.marking_marginals(pi_rebuilt)
             assert np.max(np.abs(marginals - rebuilt_marginals)) <= 1e-12
 
+    def test_zero_rate_is_a_rate_not_a_topology_change(self):
+        """Regression: a rate hitting exactly 0.0 is a re-rate, not a
+        structural change.  Enabling is arcs + gates only, so a slot
+        whose activity evaluates to rate zero must re-rate in place
+        (the zero-rate transitions drop out in the CTMC build); the old
+        ``Exponential`` constructor rejected rate 0.0 outright, which
+        misclassified rate-only sweep points (e.g. a repair-rate axis
+        crossing zero) as topology rejections and forced full-rebuild
+        fallbacks."""
+
+        def dual_repair_model(fail=0.5, slow=1.0, fast=4.0):
+            # Two redundant repair pathways: zeroing one keeps the chain
+            # irreducible through the other.
+            a = TimedActivity.exponential("fail", fail, input_arcs={"up": 1})
+            down_gate = InputGate("down", predicate=lambda m: m["up"] == 0)
+            slow_repair = TimedActivity.exponential(
+                "slow_repair",
+                slow,
+                input_gates=[down_gate],
+                cases=[Case(output_arcs={"up": 1})],
+            )
+            fast_repair = TimedActivity.exponential(
+                "fast_repair",
+                fast,
+                input_gates=[down_gate],
+                cases=[Case(output_arcs={"up": 1})],
+            )
+            return SANModel(
+                [Place("up", 1)],
+                [a, slow_repair, fast_repair],
+                name="dual-repair",
+            )
+
+        space = generate(dual_repair_model())
+        assembled = assemble(space, stages=1)
+        # Positive -> zero: same topology, no ModelError, and the
+        # steady state matches a fresh build at the zeroed rate.
+        zero = dual_repair_model(fast=0.0)
+        pi_rerated = assembled.rerate(zero).steady_state()
+        fresh_zero = assemble(generate(zero), stages=1).rerate(zero)
+        assert np.max(
+            np.abs(pi_rerated - fresh_zero.steady_state())
+        ) <= 1e-12
+        # Only the surviving pathway remains: pi(up) = slow/(slow+fail).
+        marginals = assembled.marking_marginals(pi_rerated)
+        up_index = space.model.place_index.position("up")
+        up_mass = sum(
+            p
+            for marking_index, p in enumerate(marginals.tolist())
+            if space.markings[marking_index][up_index] == 1
+        )
+        assert up_mass == pytest.approx(1.0 / 1.5, abs=1e-12)
+        # Zero -> positive on a topology *assembled at zero*: also fine.
+        assembled_at_zero = assemble(
+            generate(dual_repair_model(fast=0.0)), stages=1
+        )
+        hot = dual_repair_model(fast=4.0)
+        back = assembled_at_zero.rerate(hot)
+        fresh = assemble(generate(hot), stages=1).rerate(hot)
+        assert np.max(
+            np.abs(back.steady_state() - fresh.steady_state())
+        ) <= 1e-12
+
     def test_rerate_with_precomputed_rate_vector(self):
         space = generate(on_off_model())
         assembled = assemble(space, stages=4)

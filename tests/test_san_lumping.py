@@ -308,6 +308,28 @@ class TestLumpAssembled:
         with pytest.raises(ModelError, match="breaks lumping slot class"):
             lumped.rerate(broken)
 
+    def test_coincidentally_equal_rates_stay_in_separate_classes(self):
+        """Regression: ``lump_assembled`` keyed slot classes on the
+        bitwise rate value alone, so two unrelated activity families
+        whose rates happened to coincide at refinement time (here:
+        repair rate == failure rate) were merged into one class.  The
+        merged chain solved that one point correctly but any later
+        re-rate that diverged the rates hit the class-constancy check
+        and raised ``ModelError`` -- a sweep-point fallback for a
+        perfectly lumpable model.  The key now includes the slot's case
+        multiset, which separates the families without refining any
+        genuinely symmetric orbit."""
+        collided = plane_model(fail_rates=[0.02] * 3, repair=0.02)
+        chain = assemble(generate(collided), stages=4)
+        lumped = lump_assembled(chain)
+        # The diverged point must re-rate in place...
+        diverged = plane_model(fail_rates=[0.02] * 3, repair=0.9)
+        pi_quotient = lumped.rerate(diverged).steady_state_solve().pi
+        # ... and agree exactly with the full-chain solve.
+        full = assemble(generate(diverged), stages=4)
+        pi_full = full.rerate(diverged).steady_state_solve().pi
+        assert np.max(np.abs(lumped.expand(pi_quotient) - pi_full)) <= 1e-12
+
     def test_asymmetric_dynamics_refine_to_singletons(self):
         model = plane_model(fail_rates=[0.02, 0.05], n=2)
         # Force the declaration despite the asymmetry.
