@@ -20,3 +20,11 @@ def run_once(benchmark):
         )
 
     return runner
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``bench`` (registered in pyproject.toml)
+    so the guards are selectable with ``pytest benchmarks -m bench`` and
+    excludable with ``-m 'not bench'`` in mixed collections."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)

@@ -143,7 +143,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     metadata, cases = read_corpus(args.corpus)
     print(f"running {len(cases)} cells from {args.corpus} ...")
-    result = run_corpus(cases, progress=_print_progress if args.verbose else None)
+    extra_checks = ("protocol_mc",) if args.protocol_mc else ()
+    result = run_corpus(
+        cases,
+        progress=_print_progress if args.verbose else None,
+        extra_checks=extra_checks,
+    )
     scorecard = score_run(result, metadata=metadata)
     with open(args.scorecard, "w") as handle:
         handle.write(scorecard_to_json(scorecard))
@@ -219,6 +224,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner.add_argument("--corpus", required=True, help="corpus directory")
     runner.add_argument("--scorecard", required=True, help="output JSON path")
     runner.add_argument("--verbose", action="store_true")
+    runner.add_argument(
+        "--protocol-mc",
+        action="store_true",
+        help="force the vector-engine protocol_mc conformance check onto "
+        "every cell (off by default; changes the scorecard layout, so do "
+        "not combine with golden diffs)",
+    )
     runner.set_defaults(func=_cmd_run)
 
     score = commands.add_parser("score", help="summarise a scorecard")

@@ -71,6 +71,7 @@ from repro.analytic.solve_cache import cache_stats
 from repro.errors import ConfigurationError
 from repro.experiments.report import ExperimentResult
 from repro.simulation.batch import batch_stage_timings
+from repro.simulation.vector import vector_batch_stats
 
 __all__ = ["SweepRunner", "evaluate_grid"]
 
@@ -214,9 +215,13 @@ class SweepRunner:
         The ``assemble``/``refine``/``quotient``/``rerate``/``solve``
         timings are deltas of the
         capacity module's stage accumulators across the run, and the
-        ``batch_template``/``batch_replicate``/``batch_run`` timings are
+        ``batch_template``/``batch_replicate``/``batch_run``/
+        ``batch_vector``/``batch_vector_fallback`` timings are
         deltas of the batched-replication engine's accumulators (see
-        :func:`repro.simulation.batch.batch_stage_timings`).  Both only
+        :func:`repro.simulation.batch.batch_stage_timings`); the
+        vector engine's counter deltas (including the divergence-mask
+        fallback fraction) land in
+        ``ExperimentResult.metadata["vector_stats"]``.  Both only
         attribute work done in the parent process; with ``n_jobs > 1``
         the per-point work happens in workers and those stages
         undercount (``rows`` still captures the wall clock).
@@ -224,6 +229,7 @@ class SweepRunner:
         timings: Dict[str, float] = {}
         before = capacity_stage_timings()
         batch_before = batch_stage_timings()
+        vector_before = vector_batch_stats()
         solver_before = capacity_solver_stats()
         with _stage(timings, "total"):
             with _stage(timings, "capacity_presolve"):
@@ -235,11 +241,12 @@ class SweepRunner:
         batch_after = batch_stage_timings()
         for stage in ("assemble", "refine", "quotient", "rerate", "solve"):
             timings[stage] = after.get(stage, 0.0) - before.get(stage, 0.0)
-        for stage in ("template", "replicate", "run"):
+        for stage in ("template", "replicate", "run", "vector", "vector_fallback"):
             timings[f"batch_{stage}"] = batch_after.get(
                 stage, 0.0
             ) - batch_before.get(stage, 0.0)
         solver_after = capacity_solver_stats()
+        vector_after = vector_batch_stats()
         metadata: Dict[str, object] = {
             # Run-level deltas of the capacity solver counters --
             # notably ``structure_fallbacks`` / ``solver_fallbacks``,
@@ -261,8 +268,21 @@ class SweepRunner:
                     "hit_rate": stats.hit_rate,
                 }
                 for name, stats in cache_stats().items()
-            }
+            },
         }
+        # Vector-engine counter deltas (calls / replications / rows
+        # shunted to the scalar oracle) with the run-level fallback
+        # fraction; same parent-process caveat as above.
+        vector_delta = {
+            key: vector_after.get(key, 0) - vector_before.get(key, 0)
+            for key in ("calls", "replications", "fallbacks")
+        }
+        vector_delta["fallback_fraction"] = (
+            vector_delta["fallbacks"] / vector_delta["replications"]
+            if vector_delta["replications"]
+            else 0.0
+        )
+        metadata["vector_stats"] = vector_delta
         return ExperimentResult(
             experiment_id=experiment_id,
             title=title,

@@ -42,6 +42,14 @@ Checks (a case declares a subset via ``ScenarioCase.checks``):
     Wilson sanity of every campaign cell, plus analytic containment
     for the fault-free plan (both schemes) and, when applicable, the
     all-successors-fail-silent degradation reference.
+``protocol_mc``
+    Exact conformance of the struct-of-arrays protocol engine
+    (:mod:`repro.simulation.vector`) against the scalar event-driven
+    oracle on shared randomness tapes at the cell's
+    ``fault_capacity``: every replication's ``(level, detected)`` pair
+    must match bit for bit, and the divergence-mask fallback fraction
+    is recorded.  Off by default in generated corpora; ``corpus run
+    --protocol-mc`` forces it onto every cell.
 
 All randomness is keyed by ``ScenarioCase.mc_seed``; rerunning a case
 or a corpus reproduces the same counts exactly.
@@ -393,11 +401,80 @@ def _fault_campaign_check(case: ScenarioCase) -> Tuple[CheckOutcome, Dict[str, o
     return CheckOutcome("fault_campaign", passed, details), metrics
 
 
+#: Replication cap for the ``protocol_mc`` exactness check: every row
+#: is re-run through the scalar oracle (~0.1 ms each), so the check is
+#: bounded independently of the case's Monte-Carlo sample budget.
+_PROTOCOL_MC_CAP = 1_024
+
+
+def _protocol_mc_check(case: ScenarioCase) -> Tuple[CheckOutcome, Dict[str, object]]:
+    """Exact vector-vs-oracle conformance at ``case.fault_capacity``:
+    run the same signal variates and protocol tapes through the
+    struct-of-arrays engine and the scalar event-driven engine and
+    require bit-for-bit equal ``(level, detected)`` per replication."""
+    from repro.simulation.batch import ScenarioTemplate
+    from repro.simulation.vector import (
+        draw_protocol_tapes,
+        scalar_reference_levels,
+        vector_batch_stats,
+    )
+
+    params = case.params()
+    geometry = case.geometry(case.fault_capacity)
+    template = ScenarioTemplate(geometry, params, scheme=case.scheme_enum)
+    n = int(min(case.samples, _PROTOCOL_MC_CAP))
+    child = np.random.SeedSequence(case.mc_seed).spawn(1)[0]
+    # Two generators on the same child stream: one consumed by the
+    # vector engine, one replayed into the oracle's tapes, so both
+    # sides see identical draws.
+    rng_vector = np.random.default_rng(child)
+    rng_oracle = np.random.default_rng(child)
+    duration_dist = case.signal_duration()
+    onsets = rng_vector.uniform(0.0, geometry.l1, size=n)
+    durations = duration_dist.sample_many(rng_vector, n)
+    rng_oracle.uniform(0.0, geometry.l1, size=n)
+    duration_dist.sample_many(rng_oracle, n)
+
+    before = vector_batch_stats()
+    levels_vector, detected_vector = template.sample_levels(
+        rng_vector, onsets, durations, engine="vector"
+    )
+    after = vector_batch_stats()
+    fallbacks = int(after["fallbacks"] - before["fallbacks"])
+
+    tapes = draw_protocol_tapes(template, rng_oracle, n)
+    levels_oracle, detected_oracle = scalar_reference_levels(
+        template, onsets, durations, tapes
+    )
+    level_mismatches = int(np.count_nonzero(levels_vector != levels_oracle))
+    detected_mismatches = int(
+        np.count_nonzero(detected_vector != detected_oracle)
+    )
+    passed = level_mismatches == 0 and detected_mismatches == 0
+    counts = np.bincount(levels_vector, minlength=4)
+    details: Dict[str, object] = {
+        "samples": n,
+        "capacity": case.fault_capacity,
+        "level_mismatches": level_mismatches,
+        "detected_mismatches": detected_mismatches,
+        "fallback_fraction": fallbacks / n if n else 0.0,
+        "level_counts": [int(count) for count in counts[:4]],
+    }
+    metrics = {"protocol_mc_fallback_fraction": details["fallback_fraction"]}
+    return CheckOutcome("protocol_mc", passed, details), metrics
+
+
 # ----------------------------------------------------------------------
 # Cell and corpus execution
 # ----------------------------------------------------------------------
-def run_case(case: ScenarioCase) -> CellResult:
+def run_case(
+    case: ScenarioCase, *, extra_checks: Sequence[str] = ()
+) -> CellResult:
     """Run every check ``case`` declares and return the cell result.
+
+    ``extra_checks`` appends checks beyond the declared set (the CLI's
+    ``--protocol-mc`` uses it to force the vector-engine conformance
+    check onto every cell without touching the corpus on disk).
 
     Exceptions raised by a stage never propagate: they are recorded in
     the cell's exception taxonomy (type name -> count), fail the check
@@ -419,8 +496,11 @@ def run_case(case: ScenarioCase) -> CellResult:
             )
         )
 
+    check_names = list(case.checks) + [
+        name for name in extra_checks if name not in case.checks
+    ]
     needs_composition = bool(
-        {"analytic_vs_mc", "alert_deadline"} & set(case.checks)
+        {"analytic_vs_mc", "alert_deadline"} & set(check_names)
     )
     pk: Optional[Dict[int, float]] = None
     analytic: Optional[QoSDistribution] = None
@@ -444,11 +524,11 @@ def run_case(case: ScenarioCase) -> CellResult:
             metrics["samples"] = samples
         except Exception as error:  # noqa: BLE001 - taxonomy by design
             for name in ("analytic_vs_mc", "alert_deadline"):
-                if name in case.checks:
+                if name in check_names:
                     note_exception(name, error)
             pk = analytic = counts = None
 
-    for name in case.checks:
+    for name in check_names:
         if name == "analytic_vs_mc" and analytic is not None:
             checks.append(
                 _containment_check(
@@ -515,6 +595,13 @@ def run_case(case: ScenarioCase) -> CellResult:
                 checks.append(outcome)
             except Exception as error:  # noqa: BLE001
                 note_exception(name, error)
+        elif name == "protocol_mc":
+            try:
+                outcome, protocol_metrics = _protocol_mc_check(case)
+                metrics.update(protocol_metrics)
+                checks.append(outcome)
+            except Exception as error:  # noqa: BLE001
+                note_exception(name, error)
 
     stats_after = capacity_solver_stats()
     fallbacks = {
@@ -543,16 +630,18 @@ def run_corpus(
     cases: Sequence[ScenarioCase],
     *,
     progress: Optional[Callable[[CellResult], None]] = None,
+    extra_checks: Sequence[str] = (),
 ) -> CorpusRunResult:
     """Run every case (in the given order -- the corpus reader already
     sorts by case id) and return the collected results.  Cells run in
-    one process so the per-cell solver-fallback deltas stay exact."""
+    one process so the per-cell solver-fallback deltas stay exact.
+    ``extra_checks`` is forwarded to every :func:`run_case`."""
     if not cases:
         raise ConfigurationError("run_corpus needs at least one case")
     start = time.perf_counter()
     cells: List[CellResult] = []
     for case in cases:
-        cell = run_case(case)
+        cell = run_case(case, extra_checks=extra_checks)
         cells.append(cell)
         if progress is not None:
             progress(cell)

@@ -69,6 +69,7 @@ CHECKS = (
     "lumped_vs_counted",
     "lumped_vs_unlumped",
     "fault_campaign",
+    "protocol_mc",
 )
 
 #: Supported signal-duration models (mean always ``1/mu``); the

@@ -11,13 +11,25 @@ from repro.simulation.qos_montecarlo import (
     simulate_conditional_distribution_protocol,
 )
 from repro.simulation.scenarios import CoverageAccuracyScenario, LevelAccuracy
+from repro.simulation.vector import (
+    draw_protocol_tapes,
+    sample_levels_vector,
+    scalar_reference_levels,
+    reset_vector_batch_stats,
+    vector_batch_stats,
+)
 
 __all__ = [
     "CoverageAccuracyScenario",
     "LevelAccuracy",
     "PlaneDegradationSimulation",
+    "draw_protocol_tapes",
+    "sample_levels_vector",
     "sample_qos_level",
+    "scalar_reference_levels",
+    "reset_vector_batch_stats",
     "simulate_capacity_distribution",
     "simulate_conditional_distribution",
     "simulate_conditional_distribution_protocol",
+    "vector_batch_stats",
 ]

@@ -76,7 +76,16 @@ __all__ = [
 # experiment engine reports run-level deltas; benchmarks read them
 # directly.
 _STATS_LOCK = threading.Lock()
-_STAGE_TIMINGS = {"template": 0.0, "replicate": 0.0, "run": 0.0}
+_STAGE_TIMINGS = {
+    "template": 0.0,
+    "replicate": 0.0,
+    "run": 0.0,
+    # Vector-engine stages (repro.simulation.vector): total time inside
+    # the vectorized pass, and the portion spent re-running divergent
+    # replications through the scalar oracle.
+    "vector": 0.0,
+    "vector_fallback": 0.0,
+}
 
 
 @contextmanager
@@ -398,6 +407,8 @@ class ScenarioTemplate:
         rng: np.random.Generator,
         onsets: np.ndarray,
         durations: np.ndarray,
+        *,
+        engine: str = "batch",
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Batch fast path: one protocol run per ``(onset, duration)``
         pair, all drawing protocol randomness (computation times,
@@ -409,6 +420,16 @@ class ScenarioTemplate:
         fixed generator state, but *not* draw-order compatible with
         per-seed :meth:`replicate` -- estimators built on it are pinned
         statistically, not bit-for-bit (see ``docs/SIMULATION.md``).
+
+        ``engine`` selects the execution strategy: ``"batch"`` (one
+        scalar event loop per pair, the reference semantics) or
+        ``"vector"`` (the struct-of-arrays engine of
+        :mod:`repro.simulation.vector`, which advances all pairs at
+        once and shunts replications it cannot model exactly back to
+        the scalar oracle).  The two engines consume ``rng`` in
+        different orders, so they are statistically -- not draw-for-
+        draw -- equivalent; within the vector engine, levels are pinned
+        exactly against the scalar oracle on shared tapes.
         """
         onsets = np.asarray(onsets, dtype=float)
         durations = np.asarray(durations, dtype=float)
@@ -424,6 +445,15 @@ class ScenarioTemplate:
         # Wrap the half-open cycle boundary, as normalise_onset_position
         # does for scalars.
         onsets = np.where(onsets >= l1, 0.0, onsets)
+
+        if engine == "vector":
+            from repro.simulation.vector import sample_levels_vector
+
+            return sample_levels_vector(self, rng, onsets, durations)
+        if engine != "batch":
+            raise ConfigurationError(
+                f"unknown engine {engine!r} (expected 'batch' or 'vector')"
+            )
 
         count = len(onsets)
         levels = np.empty(count, dtype=np.uint8)

@@ -353,6 +353,7 @@ def simulate_conditional_distribution_protocol(
     samples: int = 2_000,
     seed: Optional[int] = None,
     batched: bool = True,
+    engine: str = "batch",
     onset_sampling: str = "uniform",
     antithetic: bool = False,
 ) -> QoSDistribution:
@@ -363,9 +364,15 @@ def simulate_conditional_distribution_protocol(
     :class:`~repro.simulation.batch.ScenarioTemplate` for the cell and
     replays it per sample with a shared generator (deterministic under
     a fixed ``seed``, pinned statistically against the legacy path --
-    see ``docs/SIMULATION.md``).  ``batched=False`` is the reference
-    implementation: one :class:`CenterlineScenario` per sample, seeded
-    from the same :class:`~numpy.random.SeedSequence` children.
+    see ``docs/SIMULATION.md``).  ``engine="vector"`` hands the whole
+    cell to the struct-of-arrays engine of
+    :mod:`repro.simulation.vector` instead (~100x the batched
+    throughput; same marginal distribution, different draw order, so
+    per-seed results differ sample-for-sample but remain deterministic
+    and exact against the scalar oracle).  ``batched=False`` is the
+    reference implementation: one :class:`CenterlineScenario` per
+    sample, seeded from the same :class:`~numpy.random.SeedSequence`
+    children.
 
     Seeds are derived via ``SeedSequence(seed).spawn`` (matching the
     fault campaign's per-cell design) rather than the collision-prone
@@ -389,9 +396,13 @@ def simulate_conditional_distribution_protocol(
             antithetic=antithetic,
         )
         template = ScenarioTemplate(geometry, params, scheme=scheme)
-        levels, _ = template.sample_levels(rng, onsets, durations)
+        levels, _ = template.sample_levels(rng, onsets, durations, engine=engine)
         return _distribution_from_levels(levels, samples)
 
+    if engine != "batch":
+        raise ConfigurationError(
+            "engine selection requires the batched path"
+        )
     if onset_sampling != "uniform" or antithetic:
         raise ConfigurationError(
             "variance-reduction options require the batched path"

@@ -1,6 +1,8 @@
 """Tests for repro.desim.kernel."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.desim.kernel import Simulator
 from repro.errors import ConfigurationError
@@ -151,3 +153,146 @@ class TestRunUntil:
         simulator.run_until(5.0, stop=lambda: False)
         assert fired == ["a"]
         assert simulator.now == 5.0
+
+
+class TestRunUntilCancelResampleProperty:
+    """Pin the PR 7 cancelled-head horizon fix beyond its single
+    regression case: under adversarial cancel/resample sequences --
+    mass cancellations keeping the heap full of stale entries,
+    callbacks that cancel peers and reschedule replacements, ``stop=``
+    predicates cutting runs short -- the kernel must match a spec-level
+    reference model (a plain sorted list with eager filtering, no lazy
+    cancellation heap)."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_kernel_matches_reference_model(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=7), label="events")
+        times = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            ),
+            label="times",
+        )
+        # When event i fires it cancels event cancel_map[i] (-1: none)
+        # and, if resample[i] is set, schedules a fresh event at
+        # now + resample[i] -- the cancel-and-resample pattern the
+        # plane-degradation DES hammers the heap with.
+        cancel_map = data.draw(
+            st.lists(
+                st.integers(min_value=-1, max_value=n - 1),
+                min_size=n,
+                max_size=n,
+            ),
+            label="cancel_map",
+        )
+        resample = data.draw(
+            st.lists(
+                st.one_of(
+                    st.none(),
+                    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+                ),
+                min_size=n,
+                max_size=n,
+            ),
+            label="resample",
+        )
+        precancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1)),
+            label="precancel",
+        )
+        horizons = sorted(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=15.0, allow_nan=False),
+                    min_size=1,
+                    max_size=3,
+                ),
+                label="horizons",
+            )
+        )
+        stop_after = data.draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=2 * n)),
+            label="stop_after",
+        )
+
+        # --- Kernel side -------------------------------------------------
+        simulator = Simulator()
+        kernel_fired = []
+        handles = {}
+        next_id = [n]
+
+        def kernel_callback(i):
+            def callback():
+                kernel_fired.append((i, simulator.now))
+                j = cancel_map[i] if i < n else -1
+                if j >= 0:
+                    handles[j].cancel()
+                extra = resample[i] if i < n else None
+                if extra is not None:
+                    k = next_id[0]
+                    next_id[0] += 1
+                    handles[k] = simulator.schedule(extra, kernel_callback(k))
+            return callback
+
+        for i, t in enumerate(times):
+            handles[i] = simulator.at(t, kernel_callback(i))
+        for i in precancel:
+            handles[i].cancel()
+
+        # --- Reference model: sorted list, eager filtering ---------------
+        model_fired = []
+        model_now = [0.0]
+        model_events = []  # [time, seq, id, cancelled]
+        model_by_id = {}
+        model_next = [0, n]  # seq counter, id counter
+
+        def model_add(i, t):
+            entry = [t, model_next[0], i, False]
+            model_next[0] += 1
+            model_events.append(entry)
+            model_by_id[i] = entry
+
+        for i, t in enumerate(times):
+            model_add(i, t)
+        for i in precancel:
+            model_by_id[i][3] = True
+
+        def model_run_until(horizon, stop):
+            while True:
+                live = [e for e in model_events if not e[3] and e[0] <= horizon]
+                if not live:
+                    model_now[0] = horizon
+                    return
+                entry = min(live)
+                model_events.remove(entry)
+                time_, _, i, _ = entry
+                model_now[0] = time_
+                model_fired.append((i, time_))
+                j = cancel_map[i] if i < n else -1
+                if j >= 0 and model_by_id[j] is not None:
+                    model_by_id[j][3] = True
+                extra = resample[i] if i < n else None
+                if extra is not None:
+                    k = model_next[1]
+                    model_next[1] += 1
+                    model_add(k, model_now[0] + extra)
+                if stop is not None and stop():
+                    return
+
+        # --- Drive both through the same horizons ------------------------
+        for horizon in horizons:
+            if stop_after is None:
+                kernel_stop = model_stop = None
+            else:
+                kernel_stop = lambda: len(kernel_fired) >= stop_after
+                model_stop = lambda: len(model_fired) >= stop_after
+            simulator.run_until(horizon, stop=kernel_stop)
+            model_run_until(horizon, model_stop)
+            assert kernel_fired == model_fired, (
+                f"divergence at horizon {horizon}: kernel {kernel_fired} "
+                f"vs model {model_fired}"
+            )
+            assert simulator.now == model_now[0]

@@ -267,6 +267,8 @@ class TestSweepRunner:
             "batch_template",
             "batch_replicate",
             "batch_run",
+            "batch_vector",
+            "batch_vector_fallback",
         }
         assert result.timings["total"] >= result.timings["rows"]
         assert all(v >= 0.0 for v in result.timings.values())

@@ -207,9 +207,25 @@ class TestStageTimings:
             rng.uniform(0.0, geometry.l1, 10),
             rng.exponential(1 / PARAMS.mu, 10),
         )
+        template.sample_levels(
+            rng,
+            rng.uniform(0.0, geometry.l1, 10),
+            rng.exponential(1 / PARAMS.mu, 10),
+            engine="vector",
+        )
         timings = batch_stage_timings()
-        assert set(timings) == {"template", "replicate", "run"}
-        assert all(value > 0.0 for value in timings.values())
+        assert set(timings) == {
+            "template",
+            "replicate",
+            "run",
+            "vector",
+            "vector_fallback",
+        }
+        assert all(
+            timings[stage] > 0.0
+            for stage in ("template", "replicate", "run", "vector")
+        )
+        assert timings["vector_fallback"] >= 0.0
         reset_batch_stage_timings()
         assert all(
             value == 0.0 for value in batch_stage_timings().values()

@@ -413,3 +413,123 @@ class TestProtocolSamplerSeeding:
                 batched=False,
                 antithetic=True,
             )
+
+
+class TestBoundaryVariates:
+    """Pin the classifier's comparison directions exactly on the
+    boundary variates where ``<`` vs ``<=`` decides the level: onset on
+    a window edge, zero-duration signals, and computations landing
+    exactly on the deadline.  Each triple is checked against the scalar
+    specification on identical inputs, and -- where the rules make the
+    outcome determinate -- against the expected level itself.
+
+    Geometry constants (default parameters, tau = 5.0): k=12 overlaps
+    with alpha = 6.0, L1 = 7.5; k=9 underlaps with alpha = 9.0,
+    L1 = 10.0 (gap length 1.0).
+    """
+
+    # (k, onset, duration, computation, expected {scheme: level})
+    CASES = [
+        # Overlap, onset exactly on the double-coverage edge: wait == 0,
+        # computation exactly on the deadline -- <= admits the dual.
+        (12, 6.0, 1.0, 5.0,
+         {Scheme.OAQ: QoSLevel.SIMULTANEOUS_DUAL,
+          Scheme.BAQ: QoSLevel.SIMULTANEOUS_DUAL}),
+        # Overlap, computation a hair past the deadline: dual lost.
+        (12, 6.0, 1.0, np.nextafter(5.0, 6.0),
+         {Scheme.OAQ: QoSLevel.SINGLE, Scheme.BAQ: QoSLevel.SINGLE}),
+        # Overlap, duration exactly equal to the wait: the signal dies
+        # at the opportunity's edge, never inside it.
+        (12, 4.0, 2.0, 0.1,
+         {Scheme.OAQ: QoSLevel.SINGLE, Scheme.BAQ: QoSLevel.SINGLE}),
+        # Overlap, wait + computation exactly on the deadline: OAQ rides
+        # the opportunity, BAQ refuses any wait > 0.
+        (12, 4.0, 3.0, 3.0,
+         {Scheme.OAQ: QoSLevel.SIMULTANEOUS_DUAL,
+          Scheme.BAQ: QoSLevel.SINGLE}),
+        # Overlap, onset at the window origin: wait = alpha = 6 > tau,
+        # the opportunity is unreachable regardless of computation.
+        (12, 0.0, 100.0, 0.0,
+         {Scheme.OAQ: QoSLevel.SINGLE, Scheme.BAQ: QoSLevel.SINGLE}),
+        # Overlap, zero-duration signal inside double coverage: still
+        # detected at onset, dual if the computation makes the deadline.
+        (12, 6.5, 0.0, 1.0,
+         {Scheme.OAQ: QoSLevel.SIMULTANEOUS_DUAL,
+          Scheme.BAQ: QoSLevel.SIMULTANEOUS_DUAL}),
+        # Underlap, onset exactly on the gap edge (onset == alpha is in
+        # the gap), duration exactly the time to coverage: missed.
+        (9, 9.0, 1.0, 0.0,
+         {Scheme.OAQ: QoSLevel.MISSED, Scheme.BAQ: QoSLevel.MISSED}),
+        # Underlap, same edge but the signal outlives the gap by one
+        # ulp: detected late, single-coverage ceiling.
+        (9, 9.0, np.nextafter(1.0, 2.0), 0.0,
+         {Scheme.OAQ: QoSLevel.SINGLE, Scheme.BAQ: QoSLevel.SINGLE}),
+        # Underlap, zero-duration signal in the gap: missed outright.
+        (9, 9.5, 0.0, 0.0,
+         {Scheme.OAQ: QoSLevel.MISSED, Scheme.BAQ: QoSLevel.MISSED}),
+        # Underlap, zero-duration signal under coverage: detected, but
+        # it cannot survive to the next satellite.
+        (9, 5.0, 0.0, 0.0,
+         {Scheme.OAQ: QoSLevel.SINGLE, Scheme.BAQ: QoSLevel.SINGLE}),
+        # Underlap sequential boundary: wait = L1 - 7 = 3, duration
+        # exactly equal to the wait -- dies at the handover, no dual.
+        (9, 7.0, 3.0, 1.0,
+         {Scheme.OAQ: QoSLevel.SINGLE, Scheme.BAQ: QoSLevel.SINGLE}),
+        # Underlap sequential, computation exactly on the deadline
+        # (wait 3 + computation 2 == tau): OAQ dual, BAQ never.
+        (9, 7.0, 4.0, 2.0,
+         {Scheme.OAQ: QoSLevel.SEQUENTIAL_DUAL,
+          Scheme.BAQ: QoSLevel.SINGLE}),
+        # Same but past the deadline (a one-ulp bump on the computation
+        # would be rounded away by the ``wait + computation`` sum, so
+        # overshoot by a few ulps of the sum): dual lost.
+        (9, 7.0, 4.0, np.nextafter(5.0, 6.0) - 3.0,
+         {Scheme.OAQ: QoSLevel.SINGLE, Scheme.BAQ: QoSLevel.SINGLE}),
+    ]
+
+    @pytest.mark.parametrize("scheme", [Scheme.OAQ, Scheme.BAQ])
+    @pytest.mark.parametrize(
+        "k, onset, duration, computation, expected", CASES
+    )
+    def test_boundary_triple_matches_scalar_and_expectation(
+        self, params, scheme, k, onset, duration, computation, expected
+    ):
+        geometry = params.constellation.plane_geometry(k)
+        batched = classify_qos_levels(
+            geometry,
+            params,
+            scheme,
+            np.array([onset]),
+            np.array([duration]),
+            np.array([computation]),
+        )
+        scripted = _ScriptedGenerator(onset, duration, computation)
+        scalar = sample_qos_level(geometry, params, scheme, scripted)
+        assert int(batched[0]) == int(scalar)
+        assert scalar is expected[scheme]
+
+    @pytest.mark.parametrize("k", [9, 12])
+    @pytest.mark.parametrize("scheme", [Scheme.OAQ, Scheme.BAQ])
+    def test_boundary_batch_agrees_elementwise(self, params, k, scheme):
+        """All boundary triples of both geometries in one batched call:
+        the vectorised classifier must agree with the scalar rules even
+        when every element sits on a comparison edge."""
+        geometry = params.constellation.plane_geometry(k)
+        triples = [
+            (onset, duration, computation)
+            for case_k, onset, duration, computation, _ in self.CASES
+            if case_k == k
+        ]
+        onsets, durations, computations = (
+            np.array(column) for column in zip(*triples)
+        )
+        batched = classify_qos_levels(
+            geometry, params, scheme, onsets, durations, computations
+        )
+        for index, (onset, duration, computation) in enumerate(triples):
+            scripted = _ScriptedGenerator(onset, duration, computation)
+            scalar = sample_qos_level(geometry, params, scheme, scripted)
+            assert int(batched[index]) == int(scalar), (
+                f"k={k} {scheme.name}: onset={onset}, duration={duration}, "
+                f"computation={computation}"
+            )
