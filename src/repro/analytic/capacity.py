@@ -112,6 +112,7 @@ __all__ = [
     "capacity_caches_disabled",
     "capacity_solver_stats",
     "capacity_stage_timings",
+    "capacity_topology_key",
     "clear_capacity_caches",
     "configure_capacity_caches",
     "expanded_capacity_summary",
@@ -722,6 +723,15 @@ def _topology_key(config: CapacityModelConfig, stages: int) -> Tuple:
         config.repair_rate_per_hour is not None,
         stages,
     )
+
+
+def capacity_topology_key(config: CapacityModelConfig, stages: int) -> Tuple:
+    """Public form of the topology/rate split: the hashable key under
+    which ``(config, stages)`` shares an assembled structure (and its
+    warm-start state) with every other rate point on the same topology.
+    The campaign orchestrator uses it as an affinity key so cells that
+    share a topology execute consecutively on one worker."""
+    return _topology_key(config, stages)
 
 
 class _AssembledTopology:

@@ -52,6 +52,13 @@ class StateSpaceExplosionError(ModelError):
         self.marking = marking
 
 
+class CampaignError(ReproError):
+    """A sharded campaign run failed in a way that voids its
+    determinism or fault-tolerance contract (divergent re-execution
+    digests, worker-pool restarts exhausted), as opposed to an
+    evaluator error, which propagates as itself."""
+
+
 class ProtocolError(ReproError):
     """The OAQ coordination protocol reached an inconsistent state
     (indicates a bug in a scenario definition, not in a satellite --

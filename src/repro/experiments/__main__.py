@@ -13,12 +13,18 @@ Usage::
     python -m repro.experiments corpus diff --scorecard F [--golden G]
 
     python -m repro.experiments optimize [--smoke] [--jobs N] [--out F]
+    python -m repro.experiments faults [--runs N] [--jobs N]
 
 The ``corpus`` subcommand drives the seeded scenario corpus and its
 scored conformance harness (see :mod:`repro.experiments.corpus_exp`
 and ``docs/SCENARIOS.md``); ``optimize`` sweeps the spare-policy design
 space on the lumped quotient solver and reports the Pareto frontier
-(see :mod:`repro.experiments.optimize_exp` and ``docs/OPTIMIZE.md``).
+(see :mod:`repro.experiments.optimize_exp` and ``docs/OPTIMIZE.md``);
+``faults`` runs the fault-injection campaign table (see
+:mod:`repro.experiments.faults_exp` and ``docs/FAULTS.md``).  All
+three take ``--jobs N`` for the affinity-sharded campaign orchestrator
+and ``--resume JOURNAL`` for chunk-granular checkpoint/resume (see
+``docs/CAMPAIGN.md``).
 
 Profiles are standard :mod:`cProfile` dumps; inspect them with
 ``python -m pstats profile_fig7.pstats`` (then ``sort cumtime`` /
@@ -150,6 +156,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return corpus_exp.main(argv[1:])
     if argv and argv[0] == "optimize":
         return optimize_exp.main(argv[1:])
+    if argv and argv[0] == "faults":
+        return faults_exp.main(argv[1:])
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(

@@ -10,7 +10,8 @@ Two entry points share the machinery:
   ``python -m repro.experiments corpus ...``::
 
       corpus generate --cells 210 --seed 20260 --out build/corpus
-      corpus run      --corpus build/corpus --scorecard build/scorecard.json
+      corpus run      --corpus build/corpus --scorecard build/scorecard.json \\
+                      [--jobs N] [--resume build/corpus.journal]
       corpus score    --scorecard build/scorecard.json
       corpus diff     --scorecard build/scorecard.json \\
                       --golden tests/golden/corpus/scorecard.json
@@ -148,7 +149,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cases,
         progress=_print_progress if args.verbose else None,
         extra_checks=extra_checks,
+        n_jobs=args.jobs,
+        journal=args.resume,
     )
+    if result.campaign is not None:
+        print(
+            f"campaign: {result.campaign['chunks']} chunks over "
+            f"{result.campaign['workers']} worker(s), "
+            f"{result.campaign['resumed']} resumed, "
+            f"{result.campaign['stolen']} stolen"
+        )
     scorecard = score_run(result, metadata=metadata)
     with open(args.scorecard, "w") as handle:
         handle.write(scorecard_to_json(scorecard))
@@ -224,6 +234,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner.add_argument("--corpus", required=True, help="corpus directory")
     runner.add_argument("--scorecard", required=True, help="output JSON path")
     runner.add_argument("--verbose", action="store_true")
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (affinity-sharded campaign orchestrator)",
+    )
+    runner.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help=(
+            "checkpoint the run to this JSONL journal and resume from it "
+            "if it exists (must have been recorded for the same corpus)"
+        ),
+    )
     runner.add_argument(
         "--protocol-mc",
         action="store_true",

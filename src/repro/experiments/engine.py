@@ -11,16 +11,21 @@ both facts:
   point is evaluated, so a ``tau``/``mu`` sweep performs exactly one
   capacity solve for its whole grid (asserted by the engine tests via
   the cache counters).
-* **Fan-out**: with ``n_jobs > 1`` the grid is evaluated through a
-  ``concurrent.futures`` process pool (the solves are CPU-bound, so
-  threads would serialise on the GIL).  Worker processes are seeded
-  with the parent's solved-distribution cache so shared solves are not
-  repeated per worker.  ``n_jobs=1`` (the default) runs sequentially
-  in-process with no pool overhead, and ``n_jobs=-1`` uses one worker
-  per CPU.
+* **Fan-out**: with ``n_jobs > 1`` the grid is evaluated through the
+  affinity-sharded campaign orchestrator
+  (:class:`repro.campaign.CampaignRunner`): points are grouped into
+  chunks by an optional ``affinity`` key, each chunk is pickled and
+  submitted *once* (not once per point), executes consecutively on one
+  worker seeded with the parent's solved-distribution cache, and is
+  state-isolated at its boundaries.  ``n_jobs=1`` (the default) runs
+  sequentially in-process with no pool overhead, and ``n_jobs=-1``
+  uses one worker per CPU.
 * **Determinism**: rows come back in grid order regardless of worker
-  completion order, so parallel and sequential runs produce identical
-  :class:`~repro.experiments.report.ExperimentResult` tables.
+  completion order, and chunk-level state isolation makes every row a
+  pure function of its chunk, so parallel and sequential runs produce
+  identical :class:`~repro.experiments.report.ExperimentResult`
+  tables -- including across checkpoint/resume (pass ``journal=``) and
+  worker-loss retries.  See ``docs/CAMPAIGN.md``.
 
 * **Shared structure**: configs named in ``preassemble`` have their
   capacity *topology* assembled once up front
@@ -43,9 +48,9 @@ of the capacity solver counters (``structure_fallbacks``,
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import (
     Callable,
@@ -61,13 +66,13 @@ from typing import (
 from repro.analytic.capacity import (
     CapacityModelConfig,
     assemble_capacity_topology,
-    capacity_cache_snapshot,
     capacity_distribution,
     capacity_solver_stats,
     capacity_stage_timings,
     seed_capacity_cache,
 )
 from repro.analytic.solve_cache import cache_stats
+from repro.campaign import CampaignResult, CampaignRunner
 from repro.errors import ConfigurationError
 from repro.experiments.report import ExperimentResult
 from repro.simulation.batch import batch_stage_timings
@@ -91,30 +96,49 @@ def _stage(timings: Dict[str, float], name: str):
 
 
 def _seed_worker(entries) -> None:
-    """Process-pool initializer: install the parent's solved ``P(k)``
-    entries into this worker's capacity cache."""
+    """Install the parent's solved ``P(k)`` entries into a worker's
+    capacity cache (kept for API compatibility; the campaign
+    orchestrator's initializer does this itself)."""
     seed_capacity_cache(entries)
-
-
-def _evaluate_point(payload: Tuple[RowFn, int, Point]):
-    """Top-level (hence picklable) per-point task."""
-    row_fn, index, point = payload
-    return index, row_fn(point)
 
 
 class SweepRunner:
     """Evaluate experiment grids with shared solves and optional
-    process-pool parallelism.
+    affinity-sharded process-pool parallelism.
 
     Parameters
     ----------
     n_jobs:
         ``1`` evaluates sequentially in-process (no pool, no pickling);
-        ``> 1`` fans points out over that many worker processes;
-        ``-1`` means one worker per available CPU.
+        ``> 1`` fans affinity chunks out over that many worker
+        processes; ``-1`` means one worker per available CPU.
+    journal:
+        Optional path of a chunk-granular JSONL checkpoint journal
+        (see :mod:`repro.campaign`).  Setting it routes even
+        ``n_jobs=1`` runs through the orchestrator so they checkpoint
+        and resume; an existing journal must fingerprint-match the
+        grid.
+    chunk_size:
+        Optional cap on points per chunk.  Default: unlimited when an
+        ``affinity`` key is supplied to :meth:`map_rows` (one chunk per
+        affinity group -- the bit-stable plan), else
+        ``ceil(len(points) / workers)`` contiguous blocks.
+    steal:
+        Let idle workers speculatively re-execute straggler chunks.
+    retries:
+        Re-attempts (from a fresh state reset) for a chunk whose
+        evaluator raised, before the exception propagates.
     """
 
-    def __init__(self, n_jobs: int = 1):
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        *,
+        journal: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        steal: bool = True,
+        retries: int = 1,
+    ):
         if n_jobs == -1:
             n_jobs = os.cpu_count() or 1
         if not isinstance(n_jobs, int) or n_jobs < 1:
@@ -122,6 +146,14 @@ class SweepRunner:
                 f"n_jobs must be a positive int or -1, got {n_jobs!r}"
             )
         self.n_jobs = n_jobs
+        self.journal = journal
+        self.chunk_size = chunk_size
+        self.steal = steal
+        self.retries = retries
+        #: The :class:`repro.campaign.CampaignResult` of the last
+        #: :meth:`map_rows` call that went through the orchestrator
+        #: (``None`` after a plain sequential pass).
+        self.last_campaign: Optional[CampaignResult] = None
 
     # ------------------------------------------------------------------
     # Shared capacity solves
@@ -164,33 +196,43 @@ class SweepRunner:
     # Grid evaluation
     # ------------------------------------------------------------------
     def map_rows(
-        self, row_fn: RowFn, points: Sequence[Point]
+        self,
+        row_fn: RowFn,
+        points: Sequence[Point],
+        *,
+        affinity: Optional[Callable[[Point], object]] = None,
     ) -> List[Dict[str, object]]:
         """``[row_fn(p) for p in points]``, possibly in parallel, with
-        the sequential ordering guaranteed either way."""
+        the sequential ordering guaranteed either way.
+
+        ``affinity`` maps a point to a hashable key; points sharing a
+        key execute consecutively on one worker (in grid order), so
+        cells sharing a SAN topology take the assemble-cache /
+        warm-start / re-rate fast path instead of rebuilding per point.
+        """
         points = list(points)
+        self.last_campaign = None
         if not points:
             return []
-        if self.n_jobs == 1 or len(points) == 1:
+        if (self.n_jobs == 1 or len(points) == 1) and self.journal is None:
             return [dict(row_fn(point)) for point in points]
 
-        rows: List[Optional[Dict[str, object]]] = [None] * len(points)
-        workers = min(self.n_jobs, len(points))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_seed_worker,
-            initargs=(capacity_cache_snapshot(),),
-        ) as pool:
-            futures = [
-                pool.submit(_evaluate_point, (row_fn, index, point))
-                for index, point in enumerate(points)
-            ]
-            # Completion order is nondeterministic; indexed placement
-            # restores grid order.
-            for future in futures:
-                index, row = future.result()
-                rows[index] = dict(row)
-        return [row for row in rows if row is not None]
+        chunk_size = self.chunk_size
+        if chunk_size is None and affinity is None:
+            # No locality structure declared: contiguous blocks, one
+            # per worker, keep submission overhead at O(workers).
+            workers = min(self.n_jobs, len(points))
+            chunk_size = math.ceil(len(points) / workers)
+        runner = CampaignRunner(
+            self.n_jobs,
+            journal=self.journal,
+            max_chunk_size=chunk_size,
+            steal=self.steal,
+            retries=self.retries,
+        )
+        campaign = runner.run(row_fn, points, affinity=affinity)
+        self.last_campaign = campaign
+        return [dict(row) for row in campaign.rows]
 
     def run(
         self,
@@ -203,6 +245,7 @@ class SweepRunner:
         notes: Sequence[str] = (),
         presolve: Iterable[Tuple[CapacityModelConfig, int]] = (),
         preassemble: Iterable[Tuple[CapacityModelConfig, int]] = (),
+        affinity: Optional[Callable[[Point], object]] = None,
     ) -> ExperimentResult:
         """Presolve shared configs, evaluate the grid, and package the
         rows -- with stage timings -- as an :class:`ExperimentResult`.
@@ -210,7 +253,8 @@ class SweepRunner:
         ``preassemble`` names configs whose *topology* should be
         assembled before solving starts (rate sweeps: pass one config
         per distinct topology).  The assembled structure is then
-        re-rated per point instead of regenerated.
+        re-rated per point instead of regenerated.  ``affinity`` is
+        forwarded to :meth:`map_rows` for campaign runs.
 
         The ``assemble``/``refine``/``quotient``/``rerate``/``solve``
         timings are deltas of the
@@ -221,10 +265,13 @@ class SweepRunner:
         :func:`repro.simulation.batch.batch_stage_timings`); the
         vector engine's counter deltas (including the divergence-mask
         fallback fraction) land in
-        ``ExperimentResult.metadata["vector_stats"]``.  Both only
-        attribute work done in the parent process; with ``n_jobs > 1``
-        the per-point work happens in workers and those stages
-        undercount (``rows`` still captures the wall clock).
+        ``ExperimentResult.metadata["vector_stats"]``.  Campaign runs
+        merge each pool worker's per-chunk deltas of the same
+        accumulators into these timings and counters, so parallel runs
+        attribute stage work instead of undercounting it, and record
+        the orchestrator's scheduling statistics (chunks, resumed,
+        stolen, retried, pool restarts) in
+        ``ExperimentResult.metadata["campaign"]``.
         """
         timings: Dict[str, float] = {}
         before = capacity_stage_timings()
@@ -236,26 +283,45 @@ class SweepRunner:
                 self.preassemble_capacity(preassemble)
                 self.presolve_capacity(presolve)
             with _stage(timings, "rows"):
-                rows = self.map_rows(row_fn, points)
+                rows = self.map_rows(row_fn, points, affinity=affinity)
         after = capacity_stage_timings()
         batch_after = batch_stage_timings()
+        campaign = self.last_campaign
+        worker_stages = (
+            campaign.worker_stage_timings() if campaign is not None else {}
+        )
+        worker_batch = (
+            campaign.worker_batch_timings() if campaign is not None else {}
+        )
         for stage in ("assemble", "refine", "quotient", "rerate", "solve"):
-            timings[stage] = after.get(stage, 0.0) - before.get(stage, 0.0)
+            timings[stage] = (
+                after.get(stage, 0.0)
+                - before.get(stage, 0.0)
+                + worker_stages.get(stage, 0.0)
+            )
         for stage in ("template", "replicate", "run", "vector", "vector_fallback"):
-            timings[f"batch_{stage}"] = batch_after.get(
-                stage, 0.0
-            ) - batch_before.get(stage, 0.0)
+            timings[f"batch_{stage}"] = (
+                batch_after.get(stage, 0.0)
+                - batch_before.get(stage, 0.0)
+                + worker_batch.get(stage, 0.0)
+            )
         solver_after = capacity_solver_stats()
         vector_after = vector_batch_stats()
+        worker_solver = (
+            campaign.worker_counter_sums("solver_stats")
+            if campaign is not None
+            else {}
+        )
         metadata: Dict[str, object] = {
             # Run-level deltas of the capacity solver counters --
             # notably ``structure_fallbacks`` / ``solver_fallbacks``,
             # which the optimize experiment additionally records
-            # per-cell.  With ``n_jobs > 1`` per-point work happens in
-            # workers and the parent-side delta undercounts (row
-            # functions that care capture their own deltas in-worker).
+            # per-cell.  Campaign runs add the worker-side deltas, so
+            # the totals hold at any n_jobs.
             "solver_stats": {
-                key: solver_after.get(key, 0) - solver_before.get(key, 0)
+                key: solver_after.get(key, 0)
+                - solver_before.get(key, 0)
+                + worker_solver.get(key, 0)
                 for key in solver_after
             },
             "cache_stats": {
@@ -272,9 +338,16 @@ class SweepRunner:
         }
         # Vector-engine counter deltas (calls / replications / rows
         # shunted to the scalar oracle) with the run-level fallback
-        # fraction; same parent-process caveat as above.
+        # fraction; worker-side deltas included for campaign runs.
+        worker_vector = (
+            campaign.worker_counter_sums("vector_stats")
+            if campaign is not None
+            else {}
+        )
         vector_delta = {
-            key: vector_after.get(key, 0) - vector_before.get(key, 0)
+            key: vector_after.get(key, 0)
+            - vector_before.get(key, 0)
+            + worker_vector.get(key, 0)
             for key in ("calls", "replications", "fallbacks")
         }
         vector_delta["fallback_fraction"] = (
@@ -283,6 +356,11 @@ class SweepRunner:
             else 0.0
         )
         metadata["vector_stats"] = vector_delta
+        if campaign is not None:
+            metadata["campaign"] = {
+                **campaign.stats,
+                "fingerprint": campaign.fingerprint,
+            }
         return ExperimentResult(
             experiment_id=experiment_id,
             title=title,

@@ -13,7 +13,7 @@ report.
 from __future__ import annotations
 
 import argparse
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.analytic.qos_model import conditional_distribution
 from repro.core.config import EvaluationParams
@@ -62,8 +62,13 @@ def run(
     capacity: int = 9,
     seed: Optional[int] = 2026,
     n_jobs: int = 1,
+    journal: Optional[str] = None,
 ) -> ExperimentResult:
-    """Fault-injection campaign table (underlapping plane)."""
+    """Fault-injection campaign table (underlapping plane).
+
+    ``journal`` checkpoints the campaign batch-by-batch to the given
+    JSONL path and resumes from it when the file exists (see
+    ``docs/CAMPAIGN.md``)."""
     params = EvaluationParams(signal_termination_rate=0.2)
     geometry = params.constellation.plane_geometry(capacity)
     plans = plan_battery()
@@ -75,6 +80,7 @@ def run(
         runs=runs,
         seed=seed if seed is not None else 0,
         n_jobs=n_jobs,
+        journal=journal,
     )
     result = campaign.run()
 
@@ -149,19 +155,37 @@ def run(
     )
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments faults", description=__doc__
+    )
     parser.add_argument("--runs", type=int, default=250, help="runs per cell")
     parser.add_argument("--capacity", type=int, default=9, help="satellites k")
     parser.add_argument("--seed", type=int, default=2026, help="campaign seed")
     parser.add_argument("--jobs", type=int, default=1, help="process-pool size")
-    args = parser.parse_args()
+    parser.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help=(
+            "checkpoint the campaign to this JSONL journal and resume "
+            "from it if it exists (must match the campaign's grid)"
+        ),
+    )
+    args = parser.parse_args(argv)
     print(
         run(
-            runs=args.runs, capacity=args.capacity, seed=args.seed, n_jobs=args.jobs
+            runs=args.runs,
+            capacity=args.capacity,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            journal=args.resume,
         ).render()
     )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    sys.exit(main())

@@ -13,6 +13,7 @@ Two entry points share the machinery:
       optimize                          # full default grid
       optimize --smoke                  # the 24-cell golden smoke grid
       optimize --stages 8 --jobs 4      # finer Erlang clock, 4 workers
+      optimize --resume build/opt.jsonl # checkpoint / resume the sweep
       optimize --out build/optimize.json
 
   ``--out`` dumps the complete result (rows, frontier, scorecard,
@@ -82,11 +83,19 @@ def _evaluate(point: DesignPoint, *, stages: int) -> Dict[str, object]:
     return evaluate_cell(point, stages=stages)
 
 
+def _topology_affinity(point: DesignPoint):
+    """Campaign affinity key: cells sharing a SAN topology execute
+    consecutively on one worker, so each topology is refined and
+    quotiented once per chunk and every subsequent cell re-rates it."""
+    return point.topology_group()
+
+
 def run(
     *,
     cells: Optional[Sequence[DesignPoint]] = None,
     stages: int = 6,
     n_jobs: int = 1,
+    journal: Optional[str] = None,
     availability_target: float = DEFAULT_AVAILABILITY_TARGET,
     qos_target: float = DEFAULT_QOS_TARGET,
 ) -> ExperimentResult:
@@ -95,12 +104,15 @@ def run(
     The rendered table holds only the Pareto-efficient cells (the
     interesting output); the complete per-cell table, the fallback
     scorecard and the recommendation live in ``metadata`` (``"cells"``,
-    ``"fallback_scorecard"``, ``"recommendation"``).
+    ``"fallback_scorecard"``, ``"recommendation"``).  ``journal``
+    checkpoints the sweep to the given JSONL path, chunk by chunk, and
+    resumes from it (skipping completed topology groups) when the file
+    already exists; see ``docs/CAMPAIGN.md``.
     """
     if cells is None:
         cells = design_grid()
     cells = list(cells)
-    runner = SweepRunner(n_jobs=n_jobs)
+    runner = SweepRunner(n_jobs=n_jobs, journal=journal)
     result = runner.run(
         experiment_id="optimize",
         title=(
@@ -111,6 +123,7 @@ def run(
         headers=HEADERS,
         row_fn=functools.partial(_evaluate, stages=stages),
         points=cells,
+        affinity=_topology_affinity,
     )
     rows = result.rows
     frontier = pareto_frontier(rows)
@@ -171,6 +184,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help=(
+            "checkpoint the sweep to this JSONL journal and resume from "
+            "it if it exists (must have been recorded for the same grid)"
+        ),
+    )
+    parser.add_argument(
         "--availability-target",
         type=float,
         default=DEFAULT_AVAILABILITY_TARGET,
@@ -189,6 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cells=cells,
         stages=args.stages,
         n_jobs=args.jobs,
+        journal=args.resume,
         availability_target=args.availability_target,
         qos_target=args.qos_target,
     )

@@ -100,6 +100,45 @@ def _scenario_seeds(campaign_seed: int, cell_index: int, runs: int) -> Tuple[int
     )
 
 
+#: Single-slot template cache: ``(key, template)`` of the last cell
+#: evaluated in this process.  Batches of one (plan, scheme) cell run
+#: consecutively on one worker under the campaign's cell affinity, so
+#: one slot turns per-batch template construction into per-cell.
+#: Value-neutral: a :class:`ScenarioTemplate` is immutable and
+#: ``replicate(seed)`` is bit-identical however often the template is
+#: reused, so cache hits cannot change any result.
+_TEMPLATE_SLOT: Optional[Tuple[Tuple, object]] = None
+
+
+def _cell_template(geometry, plan, scheme, variant, params, capacity):
+    """The cell's :class:`~repro.simulation.batch.ScenarioTemplate`,
+    reused across this worker's consecutive batches of the same cell."""
+    global _TEMPLATE_SLOT
+    from repro.simulation.batch import ScenarioTemplate
+
+    key = (repr(plan), scheme, variant, repr(params), capacity)
+    if _TEMPLATE_SLOT is not None and _TEMPLATE_SLOT[0] == key:
+        return _TEMPLATE_SLOT[1]
+    template = ScenarioTemplate(
+        geometry,
+        params,
+        scheme=scheme,
+        variant=variant,
+        crosslink_loss_probability=plan.crosslink_loss,
+        link_loss_fn=build_link_loss_fn(plan),
+        lazy_events=False,
+        record_log=False,
+    )
+    _TEMPLATE_SLOT = (key, template)
+    return template
+
+
+def _cell_affinity(point: Mapping[str, object]) -> int:
+    """Campaign affinity key: all batches of one (plan, scheme) cell
+    execute consecutively on one worker, sharing its cached template."""
+    return point["cell"]
+
+
 def _evaluate_batch(point: Mapping[str, object]) -> Dict[str, object]:
     """Top-level (picklable) batch evaluator: run every seed of one
     batch against a shared :class:`ScenarioTemplate` and return the
@@ -125,8 +164,6 @@ def _evaluate_batch(point: Mapping[str, object]) -> Dict[str, object]:
     within the vector engine).  Cells that inject any fault keep the
     scalar per-seed path regardless of ``engine``.
     """
-    from repro.simulation.batch import ScenarioTemplate
-
     plan: FaultPlan = point["plan"]
     scheme: Scheme = point["scheme"]
     variant: MessagingVariant = point["variant"]
@@ -135,16 +172,7 @@ def _evaluate_batch(point: Mapping[str, object]) -> Dict[str, object]:
     seeds: Tuple[int, ...] = point["seeds"]
     engine: str = point.get("engine", "batch")
     geometry = params.constellation.plane_geometry(capacity)
-    template = ScenarioTemplate(
-        geometry,
-        params,
-        scheme=scheme,
-        variant=variant,
-        crosslink_loss_probability=plan.crosslink_loss,
-        link_loss_fn=build_link_loss_fn(plan),
-        lazy_events=False,
-        record_log=False,
-    )
+    template = _cell_template(geometry, plan, scheme, variant, params, capacity)
     names = list(template.names)
     single_coverage = geometry.single_coverage_length
 
@@ -221,6 +249,11 @@ class Campaign:
     n_jobs:
         Engine fan-out (see :class:`SweepRunner`); results do not
         depend on it.
+    journal:
+        Optional JSONL checkpoint-journal path: batches are journaled
+        as they complete and an interrupted campaign resumes from the
+        file, skipping completed work, to the identical result (see
+        ``docs/CAMPAIGN.md``).
     engine:
         ``"batch"`` (default) runs every cell through the scalar
         per-seed path that the golden pins were recorded against;
@@ -244,6 +277,7 @@ class Campaign:
         batch_size: int = 50,
         confidence: float = 0.95,
         n_jobs: int = 1,
+        journal: Optional[str] = None,
         engine: str = "batch",
     ):
         if runs < 1:
@@ -269,6 +303,7 @@ class Campaign:
         self.batch_size = batch_size
         self.confidence = confidence
         self.n_jobs = n_jobs
+        self.journal = journal
         self.engine = engine
 
     def _points(self) -> List[Dict[str, object]]:
@@ -315,13 +350,14 @@ class Campaign:
 
     def run(self) -> CampaignResult:
         """Execute every cell and aggregate the batches."""
-        runner = SweepRunner(n_jobs=self.n_jobs)
+        runner = SweepRunner(n_jobs=self.n_jobs, journal=self.journal)
         result = runner.run(
             experiment_id="fault-campaign",
             title="fault-injection campaign",
             headers=["cell", "counts", "detected", "runs"],
             row_fn=_evaluate_batch,
             points=self._points(),
+            affinity=_cell_affinity,
         )
         cells: Dict[int, Dict[str, object]] = {}
         for row in result.rows:

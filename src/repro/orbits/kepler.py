@@ -109,20 +109,37 @@ class CircularOrbit:
 
 def solve_kepler(mean_anomaly: float, eccentricity: float, *, tolerance: float = 1e-12) -> float:
     """Solve Kepler's equation ``M = E - e sin E`` for the eccentric
-    anomaly by Newton iteration."""
+    anomaly by bracketed Newton iteration.
+
+    ``f(E) = E - e sin E - M`` is strictly increasing (``f' >= 1 - e >
+    0``), so the root on ``[0, 2 pi]`` is unique; any Newton step that
+    leaves the bracket is replaced by its midpoint, which makes the
+    iteration unconditionally convergent even at high eccentricity
+    (plain Newton from ``E = pi`` oscillates for e.g. ``M = -4``,
+    ``e = 0.94``).  Negative mean anomalies solve by oddness:
+    ``E(-M) = -E(M)``.
+    """
     if not 0.0 <= eccentricity < 1.0:
         raise ConfigurationError(
             f"eccentricity must be in [0, 1) for elliptic orbits, got {eccentricity}"
         )
     m = math.fmod(mean_anomaly, 2.0 * math.pi)
-    e_anom = m if eccentricity < 0.8 else math.pi
-    for _ in range(60):
-        delta = (e_anom - eccentricity * math.sin(e_anom) - m) / (
-            1.0 - eccentricity * math.cos(e_anom)
-        )
-        e_anom -= delta
+    sign = -1.0 if m < 0.0 else 1.0
+    m_abs = abs(m)
+    low, high = 0.0, 2.0 * math.pi
+    e_anom = m_abs if eccentricity < 0.8 else math.pi
+    for _ in range(120):
+        residual = e_anom - eccentricity * math.sin(e_anom) - m_abs
+        delta = residual / (1.0 - eccentricity * math.cos(e_anom))
         if abs(delta) < tolerance:
-            return e_anom
+            return sign * (e_anom - delta)
+        if residual > 0.0:
+            high = e_anom
+        else:
+            low = e_anom
+        e_anom -= delta
+        if not low < e_anom < high:
+            e_anom = 0.5 * (low + high)
     raise SolverError(
         f"Kepler iteration failed for M={mean_anomaly}, e={eccentricity}"
     )

@@ -144,10 +144,16 @@ class CellResult:
 
 @dataclass
 class CorpusRunResult:
-    """All cells of one corpus run plus throughput accounting."""
+    """All cells of one corpus run plus throughput accounting.
+
+    ``campaign`` holds the orchestrator's scheduling statistics when
+    the run went through :class:`repro.campaign.CampaignRunner`
+    (``n_jobs > 1`` or a checkpoint journal), ``None`` for the plain
+    sequential path."""
 
     cells: List[CellResult]
     seconds: float
+    campaign: Optional[Dict[str, object]] = None
 
     @property
     def cells_per_sec(self) -> float:
@@ -626,23 +632,68 @@ def run_case(
     )
 
 
+def _case_topology_affinity(case: ScenarioCase):
+    """Campaign affinity key: the capacity topology (see
+    :func:`repro.analytic.capacity.capacity_topology_key`).  Cases
+    sharing a SAN topology execute consecutively on one worker, so the
+    group assembles/refines/quotients its structure once and every
+    further case re-rates it with warm-started solves."""
+    from repro.analytic.capacity import capacity_topology_key
+
+    return capacity_topology_key(case.capacity_config(), case.stages)
+
+
 def run_corpus(
     cases: Sequence[ScenarioCase],
     *,
     progress: Optional[Callable[[CellResult], None]] = None,
     extra_checks: Sequence[str] = (),
+    n_jobs: int = 1,
+    journal: Optional[str] = None,
 ) -> CorpusRunResult:
     """Run every case (in the given order -- the corpus reader already
-    sorts by case id) and return the collected results.  Cells run in
-    one process so the per-cell solver-fallback deltas stay exact.
-    ``extra_checks`` is forwarded to every :func:`run_case`."""
+    sorts by case id) and return the collected results.
+    ``extra_checks`` is forwarded to every :func:`run_case`.
+
+    The default (``n_jobs=1``, no ``journal``) runs every cell in this
+    process, in order.  ``n_jobs > 1`` or a ``journal`` path routes the
+    run through the campaign orchestrator: cases are grouped into
+    chunks by capacity-topology affinity, executed with chunk-level
+    state isolation (results byte-identical at any worker count -- the
+    per-cell fallback deltas run_case samples stay exact because each
+    worker's counters only move for its own cells), and journaled
+    chunk-by-chunk for checkpoint/resume.  ``progress`` then fires per
+    cell in chunk-completion order rather than corpus order."""
     if not cases:
         raise ConfigurationError("run_corpus needs at least one case")
     start = time.perf_counter()
-    cells: List[CellResult] = []
-    for case in cases:
-        cell = run_case(case, extra_checks=extra_checks)
-        cells.append(cell)
+    if n_jobs == 1 and journal is None:
+        cells: List[CellResult] = []
+        for case in cases:
+            cell = run_case(case, extra_checks=extra_checks)
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
+        return CorpusRunResult(cells=cells, seconds=time.perf_counter() - start)
+
+    import functools
+
+    from repro.campaign import CampaignRunner
+
+    def on_chunk(outcome) -> None:
         if progress is not None:
-            progress(cell)
-    return CorpusRunResult(cells=cells, seconds=time.perf_counter() - start)
+            for cell in outcome.rows:
+                progress(cell)
+
+    runner = CampaignRunner(n_jobs, journal=journal)
+    campaign = runner.run(
+        functools.partial(run_case, extra_checks=tuple(extra_checks)),
+        list(cases),
+        affinity=_case_topology_affinity,
+        on_chunk=on_chunk,
+    )
+    return CorpusRunResult(
+        cells=list(campaign.rows),
+        seconds=time.perf_counter() - start,
+        campaign={**campaign.stats, "fingerprint": campaign.fingerprint},
+    )

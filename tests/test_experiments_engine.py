@@ -247,6 +247,19 @@ class TestSweepRunner:
         with pytest.raises(ValueError, match="boom"):
             SweepRunner(n_jobs=2).map_rows(_failing_row, points)
 
+    def test_pool_submits_chunks_not_points(self):
+        # Regression: the old pool submitted one task per grid point,
+        # pickling row_fn (and paying executor round-trips) N times.
+        # The campaign orchestrator submits per chunk.
+        points = [{"x": i} for i in range(40)]
+        runner = SweepRunner(n_jobs=2, steal=False)
+        rows = runner.map_rows(_double_row, points)
+        assert rows == [{"x": i, "y": 2 * i} for i in range(40)]
+        stats = runner.last_campaign.stats
+        assert stats["chunks"] == 2  # ceil(40 / 2) point blocks
+        assert stats["submissions"] == stats["chunks"]
+        assert stats["submissions"] < len(points)
+
     def test_run_records_stage_timings(self):
         result = SweepRunner().run(
             experiment_id="demo",

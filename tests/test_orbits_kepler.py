@@ -79,6 +79,18 @@ class TestKeplerSolver:
         with pytest.raises(ConfigurationError):
             solve_kepler(1.0, 1.1)
 
+    def test_negative_anomaly_high_eccentricity(self):
+        # Regression: plain Newton diverged for M=-4.0, e~0.94 (found
+        # by Hypothesis); the bracketed solver must converge and keep
+        # the odd symmetry E(-M) = -E(M).
+        m, e = -4.0, 0.9403
+        ecc_anom = solve_kepler(m, e)
+        reduced_m = math.fmod(m, 2 * math.pi)
+        assert ecc_anom - e * math.sin(ecc_anom) == pytest.approx(
+            reduced_m, abs=1e-10
+        )
+        assert solve_kepler(-m, e) == pytest.approx(-ecc_anom, abs=1e-12)
+
 
 class TestKeplerianOrbit:
     def test_circular_limit_matches_circular_orbit(self):
